@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Ablations of the design choices the paper discusses:
+ *
+ *  1. baseline comparison (§7, footnote 18): single-, double- and
+ *     many-sided (TRRespass) hammering vs the U-TRR custom pattern on
+ *     one representative module per vendor;
+ *  2. hammering mode (§5.2): interleaved vs cascaded flip counts for
+ *     equal budgets (no TRR), and their TRR-evasion behaviour;
+ *  3. vendor B dummy budget (§7.2): minimum dummy activations needed
+ *     before any flips appear.
+ */
+
+#include <iostream>
+
+#include "attack/sweep.hh"
+#include "bench_common.hh"
+#include "softmc/host.hh"
+
+using namespace utrr;
+using namespace utrr::bench;
+
+namespace
+{
+
+void
+baselineComparison(const BenchArgs &args)
+{
+    TextTable table(
+        "Ablation 1 — access-pattern comparison (% vulnerable rows)");
+    table.header({"Module", "single-sided", "double-sided", "9-sided",
+                  "19-sided", "U-TRR custom"});
+
+    for (const std::string &name : {"A5", "B8", "C9"}) {
+        const ModuleSpec spec = *findModuleSpec(name);
+        DramModule module(spec, args.seed);
+        SoftMcHost host(module);
+        const DiscoveredMapping mapping(spec.scramble,
+                                        spec.rowsPerBank);
+        SweepConfig cfg;
+        cfg.positions = args.positionsOrDefault(8);
+
+        std::vector<std::string> cells = {name};
+        for (BaselineKind kind :
+             {BaselineKind::kSingleSided, BaselineKind::kDoubleSided,
+              BaselineKind::kManySided9, BaselineKind::kManySided19}) {
+            const SweepResult sweep =
+                sweepBaseline(host, mapping, kind, cfg);
+            cells.push_back(fmtPercent(sweep.vulnerableFraction()));
+        }
+        const SweepResult custom = sweepCustomPattern(
+            host, mapping, defaultCustomParams(spec), cfg);
+        cells.push_back(fmtPercent(custom.vulnerableFraction()));
+        table.row(cells);
+        std::cerr << "." << std::flush;
+    }
+    std::cerr << "\n";
+    table.print(std::cout);
+}
+
+void
+hammeringModes(const BenchArgs &args)
+{
+    TextTable table(
+        "Ablation 2 — interleaved vs cascaded double-sided hammering "
+        "(no TRR, refresh disabled)");
+    table.header({"hammers/aggr", "interleaved flips",
+                  "cascaded flips"});
+
+    ModuleSpec spec = *findModuleSpec("A5");
+    spec.trr = TrrVersion::kNone;
+    for (int hammers : {20'000, 40'000, 80'000}) {
+        int flips[2] = {};
+        for (int mode = 0; mode < 2; ++mode) {
+            DramModule module(spec, args.seed);
+            SoftMcHost host(module);
+            const Row victim = 2'001;
+            host.writeRow(0, victim, DataPattern::allOnes());
+            host.writeRow(0, victim - 1, DataPattern::allZeros());
+            host.writeRow(0, victim + 1, DataPattern::allZeros());
+            const std::vector<std::pair<Bank, Row>> rows = {
+                {0, victim - 1}, {0, victim + 1}};
+            if (mode == 0)
+                host.hammerInterleaved(rows, {hammers, hammers});
+            else
+                host.hammerCascaded(rows, {hammers, hammers});
+            flips[mode] = host.readRow(0, victim).countFlipsVs(
+                DataPattern::allOnes(), victim);
+        }
+        table.addRow(hammers, flips[0], flips[1]);
+    }
+    table.print(std::cout);
+    std::cout << "(§5.2: interleaved flips more bits; cascaded evades "
+                 "detection better.)\n";
+}
+
+void
+dummyBudget(const BenchArgs &args)
+{
+    TextTable table(
+        "Ablation 3 — vendor B: aggressor/dummy budget split "
+        "(module B8)");
+    table.header({"hammers/aggr/window", "dummy ACT share",
+                  "%vulnerable", "max flips/row"});
+
+    const ModuleSpec spec = *findModuleSpec("B8");
+    DramModule module(spec, args.seed);
+    SoftMcHost host(module);
+    const DiscoveredMapping mapping(spec.scramble, spec.rowsPerBank);
+
+    const int window_budget =
+        spec.traits().trrToRefPeriod * Timing{}.hammersPerRefi();
+    for (int aggr : {80, 160, 220, 280, 290}) {
+        SweepConfig cfg;
+        cfg.positions = args.positionsOrDefault(8);
+        cfg.aggressorHammers = aggr;
+        const SweepResult sweep = sweepCustomPattern(
+            host, mapping, defaultCustomParams(spec), cfg);
+        const double dummy_share =
+            1.0 - 2.0 * aggr / static_cast<double>(window_budget);
+        table.addRow(aggr, fmtPercent(dummy_share),
+                     fmtPercent(sweep.vulnerableFraction()),
+                     sweep.maxRowFlips);
+        std::cerr << "." << std::flush;
+    }
+    std::cerr << "\n";
+    table.print(std::cout);
+    std::cout << "(§7.2: too many aggressor hammers leave too little "
+                 "time to divert the sampler.)\n";
+}
+
+void
+dataDependence(const BenchArgs &args)
+{
+    // §5.2 / §3.2: RowHammer depends on the data stored in the
+    // aggressor rows — TRR-A initializes aggressors explicitly for
+    // this reason.
+    TextTable table(
+        "Ablation 4 — aggressor data-pattern dependence (no TRR)");
+    table.header({"victim data", "aggressor data", "flips"});
+
+    ModuleSpec spec = *findModuleSpec("A5");
+    spec.trr = TrrVersion::kNone;
+    struct Case
+    {
+        const char *victim;
+        const char *aggr;
+        DataPattern victim_pattern;
+        DataPattern aggr_pattern;
+    };
+    const Case cases[] = {
+        {"ones", "zeros", DataPattern::allOnes(),
+         DataPattern::allZeros()},
+        {"ones", "ones", DataPattern::allOnes(),
+         DataPattern::allOnes()},
+        {"zeros", "ones", DataPattern::allZeros(),
+         DataPattern::allOnes()},
+        {"zeros", "zeros", DataPattern::allZeros(),
+         DataPattern::allZeros()},
+    };
+    for (const Case &c : cases) {
+        DramModule module(spec, args.seed);
+        SoftMcHost host(module);
+        const Row victim = 2'001;
+        host.writeRow(0, victim, c.victim_pattern);
+        host.writeRow(0, victim - 1, c.aggr_pattern);
+        host.writeRow(0, victim + 1, c.aggr_pattern);
+        host.hammerInterleaved({{0, victim - 1}, {0, victim + 1}},
+                               {40'000, 40'000});
+        table.addRow(c.victim, c.aggr,
+                     host.readRow(0, victim)
+                         .countFlipsVs(c.victim_pattern, victim));
+    }
+    table.print(std::cout);
+    std::cout << "(Aggressors storing the inverse of the victim data "
+                 "disturb it the most; same-data coupling is weaker, "
+                 "and only charged cells can flip.)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    setLogLevel(LogLevel::kSilent);
+    baselineComparison(args);
+    hammeringModes(args);
+    dummyBudget(args);
+    dataDependence(args);
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries.
+ *
+ * Every bench regenerates one of the paper's tables or figure series.
+ * Common flags:
+ *   --module <NAME>   restrict to one module (e.g. A5)
+ *   --vendor <A|B|C>  restrict to one vendor
+ *   --positions <N>   victim positions sampled per bank sweep
+ *   --full            full-scale run (all positions / slow analyses)
+ *   --quick           minimal run (CI-sized)
+ *   --seed <N>        simulation seed
+ */
+
+#ifndef UTRR_BENCH_BENCH_COMMON_HH
+#define UTRR_BENCH_BENCH_COMMON_HH
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "dram/module_spec.hh"
+
+namespace utrr::bench
+{
+
+struct BenchArgs
+{
+    std::string module;
+    char vendor = 0;
+    int positions = 0; // 0 = bench default
+    bool full = false;
+    bool quick = false;
+    std::uint64_t seed = 2021;
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs args;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    fatal(arg + " needs a value");
+                return argv[++i];
+            };
+            if (arg == "--module") {
+                args.module = next();
+            } else if (arg == "--vendor") {
+                args.vendor = next()[0];
+            } else if (arg == "--positions") {
+                args.positions = std::stoi(next());
+            } else if (arg == "--full") {
+                args.full = true;
+            } else if (arg == "--quick") {
+                args.quick = true;
+            } else if (arg == "--seed") {
+                args.seed = std::stoull(next());
+            } else if (arg == "--help" || arg == "-h") {
+                std::cout
+                    << "flags: --module NAME --vendor A|B|C "
+                       "--positions N --full --quick --seed N\n";
+                std::exit(0);
+            } else {
+                fatal("unknown flag: " + arg);
+            }
+        }
+        return args;
+    }
+
+    /** The module specs this run covers. */
+    std::vector<ModuleSpec>
+    selectedModules() const
+    {
+        std::vector<ModuleSpec> specs;
+        for (const ModuleSpec &spec : allModuleSpecs()) {
+            if (!module.empty() && spec.name != module)
+                continue;
+            if (vendor != 0 && spec.vendor != vendor)
+                continue;
+            specs.push_back(spec);
+        }
+        if (specs.empty())
+            fatal("no modules match the selection");
+        return specs;
+    }
+
+    int
+    positionsOrDefault(int dflt) const
+    {
+        if (positions > 0)
+            return positions;
+        if (quick)
+            return std::max(2, dflt / 4);
+        if (full)
+            return dflt * 8;
+        return dflt;
+    }
+};
+
+} // namespace utrr::bench
+
+#endif // UTRR_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces the §7.4 ECC-bypass analysis: feed the per-8-byte-word
+ * flip patterns produced by the custom attacks through SECDED
+ * Hamming(72,64), a Chipkill-style symbol code, and Reed-Solomon codes
+ * of increasing parity, classifying each word as corrected, detected
+ * or silently corrupted.
+ */
+
+#include <iostream>
+
+#include "attack/sweep.hh"
+#include "bench_common.hh"
+#include "ecc/ecc_analysis.hh"
+#include "softmc/host.hh"
+
+using namespace utrr;
+using namespace utrr::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    setLogLevel(LogLevel::kSilent);
+
+    // Collect flip patterns from one representative module per vendor
+    // (or the selection).
+    std::vector<std::string> modules = {"A5", "B13", "C12"};
+    if (!args.module.empty())
+        modules = {args.module};
+
+    Histogram word_flips;
+    for (const std::string &name : modules) {
+        const ModuleSpec spec = *findModuleSpec(name);
+        DramModule module(spec, args.seed);
+        SoftMcHost host(module);
+        const DiscoveredMapping mapping(spec.scramble,
+                                        spec.rowsPerBank);
+        SweepConfig cfg;
+        cfg.positions = args.positionsOrDefault(24);
+        const SweepResult sweep = sweepCustomPattern(
+            host, mapping, defaultCustomParams(spec), cfg);
+        for (const auto &[flips, count] : sweep.wordFlips.bins())
+            word_flips.add(flips, count);
+        std::cerr << "." << std::flush;
+    }
+    std::cerr << "\n";
+
+    TextTable hist_table("Observed words by flip count");
+    hist_table.header({"flips/word", "words"});
+    for (const auto &[flips, count] : word_flips.bins())
+        hist_table.addRow(flips, count);
+    hist_table.print(std::cout);
+
+    const std::vector<int> parities = {2, 3, 4, 7, 14};
+    const EccStudy study = studyWordFlipHistogram(word_flips, parities);
+
+    TextTable table("ECC outcomes per scheme (paper §7.4)");
+    table.header({"Scheme", "corrected", "detected", "miscorrected",
+                  "undetected", "silent corruption"});
+    auto add = [&table](const std::string &name, const EccTally &t) {
+        table.addRow(name, t.of(EccOutcome::kCorrected),
+                     t.of(EccOutcome::kDetected),
+                     t.of(EccOutcome::kMiscorrected),
+                     t.of(EccOutcome::kUndetected),
+                     t.silentCorruption());
+    };
+    add("SECDED(72,64)", study.secded);
+    add("on-die SEC(71,64)", study.onDieSec);
+    add("Chipkill (RS 11,8 t=1)", study.chipkill);
+    for (int parity : parities)
+        add(logFmt("RS(", 8 + parity, ",8) t=", parity / 2),
+            study.reedSolomon.at(parity));
+    table.print(std::cout);
+
+    std::cout
+        << "\nPaper conclusion: SECDED and Chipkill cannot protect\n"
+           "against the custom patterns (words with >= 3 flips cause\n"
+           "silent corruption); detecting the worst observed words\n"
+           "takes a Reed-Solomon code with ~7 parity-check symbols\n"
+           "(correcting them takes 14) — a large overhead.\n";
+    return 0;
+}

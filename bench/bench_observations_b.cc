@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces the §6.2 vendor-B experiments (Observations B1-B5) on the
+ * three B_TRR versions, black-box.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/reveng.hh"
+#include "softmc/host.hh"
+
+using namespace utrr;
+using namespace utrr::bench;
+
+namespace
+{
+
+void
+analyze(const std::string &name, const BenchArgs &args, TextTable &table)
+{
+    const ModuleSpec spec = *findModuleSpec(name);
+    DramModule module(spec, args.seed);
+    SoftMcHost host(module);
+    TrrRevengConfig cfg;
+    cfg.scoutRowEnd = 8 * 1024;
+    cfg.consistencyChecks = args.quick ? 15 : 40;
+    TrrReveng reveng(host,
+                     DiscoveredMapping(spec.scramble, spec.rowsPerBank),
+                     cfg);
+
+    const int period = reveng.discoverTrrRefPeriod();
+    const int neighbours = reveng.discoverNeighborsRefreshed();
+    const DetectionType detection = reveng.discoverDetectionType();
+    const bool retained = reveng.discoverSamplerRetention();
+    const int capacity =
+        args.quick ? -1 : reveng.discoverAggressorCapacity();
+    const bool per_bank =
+        args.quick ? spec.traits().perBank
+                   : reveng.discoverPerBankScope();
+
+    table.addRow(name, trrVersionName(spec.trr),
+                 logFmt("1/", period),
+                 logFmt("1/", spec.traits().trrToRefPeriod),
+                 neighbours, detectionTypeName(detection),
+                 capacity < 0 ? std::string("-")
+                              : std::to_string(capacity),
+                 per_bank ? "per-bank" : "chip-wide",
+                 retained ? "yes" : "no");
+    std::cerr << "." << std::flush;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    setLogLevel(LogLevel::kSilent);
+
+    TextTable table("Vendor B observations (B1-B5)");
+    table.header({"Module", "Version", "TRR/REF", "(paper)",
+                  "Neighbours", "Detection", "Capacity", "Scope",
+                  "Sample survives TRR (B5)"});
+
+    std::vector<std::string> modules = {"B0", "B9", "B13"};
+    if (!args.module.empty())
+        modules = {args.module};
+    for (const std::string &name : modules)
+        analyze(name, args, table);
+    std::cerr << "\n";
+    table.print(std::cout);
+    std::cout
+        << "\nPaper: TRR on every 4th (B_TRR1), 9th (B_TRR2), 2nd\n"
+           "(B_TRR3) REF; a single sampled row shared across banks\n"
+           "(per-bank for B_TRR3); the sample survives TRR refreshes.\n";
+    return 0;
+}

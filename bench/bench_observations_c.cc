@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces the §6.3 vendor-C experiments (Observations C1-C3) on the
+ * three C_TRR versions, black-box: deferrable TRR cadence, the
+ * post-TRR detection window with its early-ACT bias, and the
+ * paired-row organization of C0-8.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/reveng.hh"
+#include "softmc/host.hh"
+
+using namespace utrr;
+using namespace utrr::bench;
+
+namespace
+{
+
+void
+analyze(const std::string &name, const BenchArgs &args, TextTable &table)
+{
+    const ModuleSpec spec = *findModuleSpec(name);
+    DramModule module(spec, args.seed);
+    SoftMcHost host(module);
+    TrrRevengConfig cfg;
+    cfg.scoutRowEnd = 8 * 1024;
+    cfg.consistencyChecks = args.quick ? 15 : 40;
+    TrrReveng reveng(host,
+                     DiscoveredMapping(spec.scramble, spec.rowsPerBank),
+                     cfg);
+
+    const int period = reveng.discoverTrrRefPeriod();
+    const int neighbours = reveng.discoverNeighborsRefreshed();
+    const DetectionType detection = reveng.discoverDetectionType();
+    const int window =
+        args.quick ? 0 : reveng.discoverDetectionWindow();
+
+    table.addRow(
+        name, trrVersionName(spec.trr), logFmt("1/", period),
+        logFmt("1/", spec.traits().trrToRefPeriod),
+        detectionTypeName(detection),
+        window > 0 ? logFmt("~", window, " ACTs") : std::string("-"),
+        spec.paired()
+            ? (neighbours == 1 ? "pair row only" : "unexpected")
+            : logFmt(neighbours, " neighbours"));
+    std::cerr << "." << std::flush;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    setLogLevel(LogLevel::kSilent);
+
+    TextTable table("Vendor C observations (C1-C3)");
+    table.header({"Module", "Version", "TRR/REF", "(paper)",
+                  "Detection", "Evasion burst", "Refresh target"});
+
+    std::vector<std::string> modules = {"C0", "C9", "C12"};
+    if (!args.module.empty())
+        modules = {args.module};
+    for (const std::string &name : modules)
+        analyze(name, args, table);
+    std::cerr << "\n";
+    table.print(std::cout);
+    std::cout
+        << "\nPaper: TRR eligible on every 17th/9th/8th REF and\n"
+           "deferrable (C1); aggressors detected only among the first\n"
+           "ACTs after a TRR event with earlier rows strongly favoured\n"
+           "(C2) — 'evasion burst' is the measured number of leading\n"
+           "dummy ACTs that reliably hides a later aggressor; paired\n"
+           "modules refresh only the pair row of the detected\n"
+           "aggressor (C3).\n";
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Simulator micro-benchmarks (google-benchmark): command throughput of
+ * the substrate. These gate the wall-clock cost of the experiment
+ * harnesses (a full Fig. 9 sweep issues hundreds of millions of ACTs).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "attack/sweep.hh"
+#include "core/row_scout.hh"
+#include "dram/module.hh"
+#include "softmc/host.hh"
+
+namespace
+{
+
+using namespace utrr;
+
+ModuleSpec
+benchSpec(TrrVersion trr)
+{
+    ModuleSpec spec = *findModuleSpec("A5");
+    spec.trr = trr;
+    return spec;
+}
+
+void
+BM_HammerNoTrr(benchmark::State &state)
+{
+    DramModule module(benchSpec(TrrVersion::kNone), 1);
+    SoftMcHost host(module);
+    for (auto _ : state)
+        host.hammer(0, 5'000, 1'000);
+    state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_HammerNoTrr);
+
+void
+BM_HammerWithVendorATrr(benchmark::State &state)
+{
+    DramModule module(benchSpec(TrrVersion::kATrr1), 1);
+    SoftMcHost host(module);
+    for (auto _ : state)
+        host.hammer(0, 5'000, 1'000);
+    state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_HammerWithVendorATrr);
+
+void
+BM_RefCommand(benchmark::State &state)
+{
+    DramModule module(benchSpec(TrrVersion::kATrr1), 1);
+    SoftMcHost host(module);
+    // Touch some rows so the refresh sweep has work to do.
+    for (Row r = 0; r < 512; ++r)
+        host.writeRow(0, r * 64, DataPattern::allOnes());
+    for (auto _ : state)
+        host.ref();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RefCommand);
+
+void
+BM_WriteReadRow(benchmark::State &state)
+{
+    DramModule module(benchSpec(TrrVersion::kNone), 1);
+    SoftMcHost host(module);
+    Row row = 0;
+    for (auto _ : state) {
+        host.writeRow(0, row, DataPattern::allOnes());
+        benchmark::DoNotOptimize(host.readRow(0, row));
+        row = (row + 1) % 4'096;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WriteReadRow);
+
+void
+BM_RetentionScan(benchmark::State &state)
+{
+    DramModule module(benchSpec(TrrVersion::kNone), 2);
+    SoftMcHost host(module);
+    RowScoutConfig cfg;
+    cfg.rowEnd = static_cast<Row>(state.range(0));
+    cfg.consistencyChecks = 10;
+    RowScout scout(host,
+                   DiscoveredMapping::identity(
+                       module.spec().rowsPerBank),
+                   cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scout.scanFailingRows(msToNs(500)));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RetentionScan)->Arg(1'024)->Arg(8'192);
+
+void
+BM_AttackPosition(benchmark::State &state)
+{
+    const ModuleSpec spec = *findModuleSpec("A5");
+    DramModule module(spec, 3);
+    SoftMcHost host(module);
+    const DiscoveredMapping mapping(spec.scramble, spec.rowsPerBank);
+    const CustomPatternParams params = defaultCustomParams(spec);
+    AttackEvaluator evaluator(host);
+    Row anchor = 1'000;
+    for (auto _ : state) {
+        auto pattern =
+            makeCustomPattern(params, host, mapping, 0, anchor);
+        benchmark::DoNotOptimize(evaluator.run(
+            *pattern, {{0, mapping.toLogical(anchor)}}, 512));
+        anchor += 64;
+    }
+    state.SetItemsProcessed(state.iterations() * 512); // REF slots
+}
+BENCHMARK(BM_AttackPosition);
+
+} // namespace
+
+BENCHMARK_MAIN();

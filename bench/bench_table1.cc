@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces Table 1: per-module TRR observations and attack results
+ * for all 45 DDR4 modules.
+ *
+ * For every module, the harness reverse-engineers (black-box) the
+ * TRR-to-REF ratio, the number of refreshed neighbours and the
+ * detection strategy, then runs the U-TRR custom access pattern over a
+ * sampled bank sweep to measure the fraction of vulnerable rows and
+ * the maximum bit flips per row per hammer. Paper-reported values are
+ * printed alongside for comparison.
+ *
+ * Default run samples positions per bank; use --full for a deep sweep
+ * and --quick for a CI-sized pass. --module A5 restricts to one row.
+ */
+
+#include <iostream>
+
+#include "attack/sweep.hh"
+#include "bench_common.hh"
+#include "core/reveng.hh"
+#include "softmc/host.hh"
+
+using namespace utrr;
+using namespace utrr::bench;
+
+namespace
+{
+
+struct Table1Row
+{
+    ModuleSpec spec;
+    int period = 0;
+    int neighbours = 0;
+    DetectionType detection = DetectionType::kUnknown;
+    SweepResult sweep;
+};
+
+Table1Row
+analyzeModule(const ModuleSpec &spec, const BenchArgs &args)
+{
+    Table1Row row;
+    row.spec = spec;
+
+    DramModule module(spec, args.seed);
+    SoftMcHost host(module);
+    const DiscoveredMapping mapping(spec.scramble, spec.rowsPerBank);
+
+    TrrRevengConfig reveng_cfg;
+    reveng_cfg.scoutRowEnd = 6 * 1024;
+    reveng_cfg.consistencyChecks = args.quick ? 15 : 40;
+    reveng_cfg.periodIterations = args.quick ? 64 : 128;
+    TrrReveng reveng(host, mapping, reveng_cfg);
+
+    row.period = reveng.discoverTrrRefPeriod();
+    row.neighbours = reveng.discoverNeighborsRefreshed();
+    row.detection = reveng.discoverDetectionType();
+
+    SweepConfig sweep_cfg;
+    sweep_cfg.positions = args.positionsOrDefault(24);
+    row.sweep = sweepCustomPattern(host, mapping,
+                                   defaultCustomParams(spec), sweep_cfg);
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    setLogLevel(LogLevel::kSilent);
+
+    TextTable table(
+        "Table 1 — TRR observations and attack results (measured vs "
+        "paper)");
+    table.header({"Module", "Date", "Gbit", "Banks", "Pins", "Version",
+                  "TRR/REF", "(paper)", "Neigh", "(paper)", "Detection",
+                  "%Vuln", "(paper)", "MaxFlips/row/hammer",
+                  "(paper)"});
+
+    for (const ModuleSpec &spec : args.selectedModules()) {
+        const Table1Row row = analyzeModule(spec, args);
+        const TrrTraits truth = spec.traits();
+        table.addRow(
+            spec.name, spec.date, spec.chipDensityGbit, spec.banks,
+            std::string("x") + std::to_string(spec.pins),
+            trrVersionName(spec.trr),
+            logFmt("1/", row.period), logFmt("1/", truth.trrToRefPeriod),
+            row.neighbours, truth.neighborsRefreshed,
+            detectionTypeName(row.detection),
+            fmtPercent(row.sweep.vulnerableFraction()),
+            fmtDouble(spec.paperVulnerableRowsPct, 1) + "%",
+            fmtDouble(row.sweep.maxFlipsPerRowPerHammer()),
+            fmtDouble(spec.paperMaxFlipsPerHammer));
+        std::cerr << "." << std::flush; // progress
+    }
+    std::cerr << "\n";
+    table.print(std::cout);
+    std::cout
+        << "\nNotes: 'Neigh' for paired-row modules (C0-8) counts the\n"
+           "pair row only (Obs. C3); the paper's Table 1 reports 2.\n"
+           "%Vuln is measured over a sampled sweep (--full widens it).\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Crafting and evaluating a U-TRR custom RowHammer pattern (§7).
+ *
+ * Usage: craft_attack [MODULE]
+ *
+ * The example first shows that the state-of-the-art baselines
+ * (double-sided, TRRespass many-sided) cause no bit flips on a
+ * TRR-protected module, then reverse-engineers the two parameters the
+ * custom patterns need (TRR-to-REF period and detection type), builds
+ * the vendor-specific pattern, and measures the flips it induces.
+ */
+
+#include <iostream>
+
+#include "attack/sweep.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/reveng.hh"
+#include "dram/module.hh"
+#include "softmc/host.hh"
+
+using namespace utrr;
+
+int
+main(int argc, char **argv)
+{
+    setLogLevel(LogLevel::kWarn);
+    const std::string name = argc > 1 ? argv[1] : "B8";
+    const auto spec_opt = findModuleSpec(name);
+    if (!spec_opt)
+        fatal("unknown module " + name);
+    const ModuleSpec spec = *spec_opt;
+
+    DramModule module(spec, 1337);
+    SoftMcHost host(module);
+    const DiscoveredMapping mapping(spec.scramble, spec.rowsPerBank);
+
+    std::cout << "== Attacking module " << spec.name << " ("
+              << trrVersionName(spec.trr) << ") ==\n\n";
+
+    SweepConfig sweep_cfg;
+    sweep_cfg.positions = 10;
+
+    std::cout << "[1/3] Baselines (16K-64K hammers per aggressor per "
+                 "refresh window):\n";
+    for (BaselineKind kind :
+         {BaselineKind::kSingleSided, BaselineKind::kDoubleSided,
+          BaselineKind::kManySided9, BaselineKind::kManySided19}) {
+        const SweepResult result =
+            sweepBaseline(host, mapping, kind, sweep_cfg);
+        std::cout << "      " << baselineName(kind) << ": "
+                  << result.vulnerableRows << "/"
+                  << result.victimRowsTested
+                  << " victim rows flipped (max "
+                  << result.maxRowFlips << " flips/row)\n";
+    }
+
+    std::cout << "\n[2/3] Reverse-engineering the TRR parameters the "
+                 "custom pattern needs...\n";
+    TrrRevengConfig reveng_cfg;
+    reveng_cfg.scoutRowEnd = 6 * 1024;
+    reveng_cfg.consistencyChecks = 25;
+    TrrReveng reveng(host, mapping, reveng_cfg);
+    TrrProfile profile;
+    profile.trrToRefPeriod = reveng.discoverTrrRefPeriod();
+    profile.detection = reveng.discoverDetectionType();
+    profile.perBank = spec.traits().perBank;
+    std::cout << "      TRR acts on every " << profile.trrToRefPeriod
+              << "th REF; detection is "
+              << detectionTypeName(profile.detection) << "\n";
+
+    std::cout << "\n[3/3] U-TRR custom pattern built from the "
+                 "discovered profile:\n";
+    const CustomPatternParams params =
+        customParamsFromProfile(spec.vendor, profile, spec.paired());
+    const SweepResult custom =
+        sweepCustomPattern(host, mapping, params, sweep_cfg);
+    std::cout << "      " << custom.vulnerableRows << "/"
+              << custom.victimRowsTested << " victim rows flipped, "
+              << "max " << custom.maxRowFlips << " flips in one row, "
+              << fmtDouble(custom.maxFlipsPerRowPerHammer())
+              << " flips/row/hammer\n";
+
+    TextTable words("Bit flips per 8-byte word (ECC impact, §7.4)");
+    words.header({"flips/word", "words"});
+    for (const auto &[flips, count] : custom.wordFlips.bins())
+        words.addRow(flips, count);
+    words.print(std::cout);
+
+    std::cout << "\nPaper's verdict: the pattern synchronizes with the "
+                 "TRR-capable REFs and steers detection toward dummy "
+                 "rows, so the victims never receive a timely "
+                 "TRR-induced refresh.\n";
+    return 0;
+}

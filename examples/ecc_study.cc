@@ -1,0 +1,98 @@
+/**
+ * @file
+ * ECC study (§7.4): can SECDED, Chipkill or Reed-Solomon survive the
+ * flip patterns the U-TRR attacks produce?
+ *
+ * Usage: ecc_study [MODULE]
+ *
+ * The example hammers a module with its custom pattern, collects the
+ * per-8-byte-word flip patterns, and runs every word through the three
+ * codec families end to end (encode -> flip data bits -> decode),
+ * reporting corrected / detected / silently-corrupted counts.
+ */
+
+#include <iostream>
+
+#include "attack/sweep.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "dram/module.hh"
+#include "ecc/ecc_analysis.hh"
+#include "ecc/secded.hh"
+#include "softmc/host.hh"
+
+using namespace utrr;
+
+int
+main(int argc, char **argv)
+{
+    setLogLevel(LogLevel::kWarn);
+    const std::string name = argc > 1 ? argv[1] : "B13";
+    const auto spec_opt = findModuleSpec(name);
+    if (!spec_opt)
+        fatal("unknown module " + name);
+    const ModuleSpec spec = *spec_opt;
+
+    std::cout << "== ECC study on module " << spec.name << " ==\n\n";
+
+    // A tiny SECDED demo first: one flip corrected, two detected,
+    // three can silently corrupt.
+    const Secded::Codeword clean = Secded::encode(0xfeedface12345678ULL);
+    auto one = Secded::flipBit(clean, 17);
+    auto two = Secded::flipBit(one, 42);
+    auto three = Secded::flipBit(two, 55);
+    std::cout << "SECDED(72,64) on a sample word:\n"
+              << "  1 flip  -> "
+              << (Secded::decode(one).status ==
+                          Secded::Status::kCorrected
+                      ? "corrected"
+                      : "?!")
+              << "\n  2 flips -> "
+              << (Secded::decode(two).status == Secded::Status::kDetected
+                      ? "detected"
+                      : "?!")
+              << "\n  3 flips -> "
+              << (Secded::decode(three).status ==
+                          Secded::Status::kCorrected
+                      ? "\"corrected\" to WRONG data (silent!)"
+                      : "detected (this pattern got lucky)")
+              << "\n\n";
+
+    std::cout << "Hammering " << spec.name
+              << " with its custom pattern to collect real flip "
+                 "patterns...\n";
+    DramModule module(spec, 4242);
+    SoftMcHost host(module);
+    const DiscoveredMapping mapping(spec.scramble, spec.rowsPerBank);
+    SweepConfig cfg;
+    cfg.positions = 24;
+    const SweepResult sweep = sweepCustomPattern(
+        host, mapping, defaultCustomParams(spec), cfg);
+    std::cout << "  " << sweep.wordFlips.total()
+              << " flipped 8-byte words collected (up to "
+              << sweep.wordFlips.maxValue() << " flips per word)\n";
+
+    const EccStudy study =
+        studyWordFlipHistogram(sweep.wordFlips, {3, 7, 14});
+
+    TextTable table("End-to-end ECC outcomes");
+    table.header({"Scheme", "corrected", "detected",
+                  "silent corruption"});
+    auto add = [&table](const std::string &scheme, const EccTally &t) {
+        table.addRow(scheme, t.of(EccOutcome::kCorrected),
+                     t.of(EccOutcome::kDetected), t.silentCorruption());
+    };
+    add("SECDED(72,64)", study.secded);
+    add("Chipkill (SSC-DSD)", study.chipkill);
+    add("RS(11,8)  t=1", study.reedSolomon.at(3));
+    add("RS(15,8)  t=3", study.reedSolomon.at(7));
+    add("RS(22,8)  t=7", study.reedSolomon.at(14));
+    table.print(std::cout);
+
+    std::cout
+        << "\nConclusion (§7.4): conventional SECDED/Chipkill cannot\n"
+           "protect against the custom patterns; guaranteed correction\n"
+           "of the worst words needs ~14 parity symbols per 8 data\n"
+           "symbols — a prohibitive overhead.\n";
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Controller-mitigation demo (paper §8 direction): the same U-TRR
+ * custom pattern that defeats the in-DRAM TRR is stopped by a
+ * controller-side tracker with worst-case guarantees.
+ *
+ * Usage: mitigation_demo [MODULE]
+ */
+
+#include <iostream>
+
+#include "attack/sweep.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "dram/module.hh"
+#include "mitigation/blockhammer.hh"
+#include "mitigation/graphene.hh"
+#include "mitigation/para.hh"
+#include "softmc/host.hh"
+
+using namespace utrr;
+
+namespace
+{
+
+SweepResult
+attack(const ModuleSpec &spec, ControllerMitigation *policy)
+{
+    DramModule module(spec, 2024);
+    SoftMcHost host(module);
+    if (policy != nullptr)
+        host.attachMitigation(policy);
+    const DiscoveredMapping mapping(spec.scramble, spec.rowsPerBank);
+    SweepConfig cfg;
+    cfg.positions = 8;
+    return sweepCustomPattern(host, mapping,
+                              defaultCustomParams(spec), cfg);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogLevel(LogLevel::kWarn);
+    const std::string name = argc > 1 ? argv[1] : "A5";
+    const auto spec_opt = findModuleSpec(name);
+    if (!spec_opt)
+        fatal("unknown module " + name);
+    const ModuleSpec spec = *spec_opt;
+
+    std::cout << "== " << spec.name
+              << ": U-TRR custom pattern vs controller mitigations "
+                 "==\n\n";
+
+    const SweepResult bare = attack(spec, nullptr);
+    std::cout << "in-DRAM TRR alone:       "
+              << fmtPercent(bare.vulnerableFraction())
+              << " of victim rows flipped (max " << bare.maxRowFlips
+              << " flips/row)\n";
+
+    Para::Params para_params;
+    para_params.probability = 0.0001;
+    Para weak_para(para_params, 1);
+    const SweepResult with_weak_para = attack(spec, &weak_para);
+    std::cout << "+ PARA (p = 1e-4):       "
+              << fmtPercent(with_weak_para.vulnerableFraction())
+              << " flipped — too weak a probability still leaks\n";
+
+    Graphene::Params graphene_params;
+    graphene_params.threshold = 2'000;
+    Graphene graphene(spec.banks, graphene_params);
+    const SweepResult with_graphene = attack(spec, &graphene);
+    std::cout << "+ Graphene (T = 2K):     "
+              << fmtPercent(with_graphene.vulnerableFraction())
+              << " flipped — Misra-Gries tracking cannot be diverted "
+                 "by dummies ("
+              << graphene.refreshesOrdered()
+              << " victim refreshes ordered)\n";
+
+    BlockHammer::Params bh_params;
+    bh_params.blacklistThreshold = 1'024;
+    BlockHammer blockhammer(spec.banks, bh_params);
+    const SweepResult with_bh = attack(spec, &blockhammer);
+    std::cout << "+ BlockHammer:           "
+              << fmtPercent(with_bh.vulnerableFraction())
+              << " flipped — the aggressors themselves got throttled ("
+              << fmtDouble(nsToMs(blockhammer.delayInjected()), 1)
+              << " ms of delay injected)\n";
+
+    std::cout
+        << "\nThe dummy-row diversions that fool the proprietary TRR\n"
+           "trackers are useless against mechanisms with worst-case\n"
+           "tracking guarantees — the paper's argument for open,\n"
+           "analyzable mitigations (§8).\n";
+    return 0;
+}

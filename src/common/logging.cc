@@ -1,0 +1,63 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace utrr
+{
+
+namespace
+{
+
+LogLevel g_level = LogLevel::kWarn;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+panic(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    if (g_level >= LogLevel::kWarn)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    if (g_level >= LogLevel::kInform)
+        std::cout << "info: " << msg << "\n";
+}
+
+void
+debug(const std::string &msg)
+{
+    if (g_level >= LogLevel::kDebug)
+        std::cout << "debug: " << msg << "\n";
+}
+
+} // namespace utrr

@@ -1,0 +1,664 @@
+#include "core/reveng.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace utrr
+{
+
+std::string
+detectionTypeName(DetectionType type)
+{
+    switch (type) {
+      case DetectionType::kUnknown:
+        return "unknown";
+      case DetectionType::kCounterBased:
+        return "counter-based";
+      case DetectionType::kSamplingBased:
+        return "sampling-based";
+      case DetectionType::kWindowBased:
+        return "window-based";
+    }
+    return "?";
+}
+
+std::string
+TrrProfile::summary() const
+{
+    return logFmt("TRR: 1/", trrToRefPeriod, " REFs, ",
+                  neighborsRefreshed, " neighbours, ",
+                  detectionTypeName(detection), ", capacity ",
+                  aggressorCapacity, ", ",
+                  perBank ? "per-bank" : "chip-wide",
+                  ", regular refresh every ", regularRefreshPeriodRefs,
+                  " REFs");
+}
+
+std::vector<int>
+TrrReveng::IterationTrace::eventsOf(std::size_t group) const
+{
+    std::vector<int> events;
+    for (std::size_t it = 0; it < masks.size(); ++it) {
+        if (masks[it].at(group) != 0)
+            events.push_back(static_cast<int>(it));
+    }
+    return events;
+}
+
+std::vector<int>
+TrrReveng::IterationTrace::anyEvents() const
+{
+    std::vector<int> events;
+    for (std::size_t it = 0; it < masks.size(); ++it) {
+        bool any = false;
+        for (std::uint64_t mask : masks[it])
+            any = any || mask != 0;
+        if (any)
+            events.push_back(static_cast<int>(it));
+    }
+    return events;
+}
+
+int
+TrrReveng::IterationTrace::dominantPeriod(const std::vector<int> &events)
+{
+    if (events.size() < 2)
+        return 0;
+    std::map<int, int> diff_counts;
+    for (std::size_t i = 1; i < events.size(); ++i)
+        ++diff_counts[events[i] - events[i - 1]];
+    int best_diff = 0;
+    int best_count = 0;
+    for (const auto &[diff, count] : diff_counts) {
+        if (count > best_count) {
+            best_count = count;
+            best_diff = diff;
+        }
+    }
+    return best_diff;
+}
+
+TrrReveng::TrrReveng(SoftMcHost &host, DiscoveredMapping mapping,
+                     TrrRevengConfig config)
+    : host(host), mapping(mapping), cfg(std::move(config)),
+      analyzer(host, std::move(mapping))
+{
+}
+
+std::vector<RowGroup>
+TrrReveng::groupsRR(int count, Bank bank)
+{
+    auto &pool = rrPools[bank];
+    if (static_cast<int>(pool.size()) < count) {
+        // Over-scout: the §5.3 adjacency pre-check drops groups whose
+        // aggressor slot or profiled rows were remapped by repair.
+        RowScoutConfig scout_cfg;
+        scout_cfg.bank = bank;
+        scout_cfg.rowStart = cfg.scoutRowStart;
+        scout_cfg.rowEnd = cfg.scoutRowEnd;
+        scout_cfg.layout = RowGroupLayout::parse("R-R");
+        scout_cfg.groupCount = count + 3;
+        scout_cfg.consistencyChecks = cfg.consistencyChecks;
+        RowScout scout(host, mapping, scout_cfg);
+        pool.clear();
+        for (RowGroup &group : scout.scout()) {
+            AggressorSpec probe;
+            probe.physRow = group.gapPhysRows().front();
+            if (!analyzer.verifyAdjacencyEscalating(group, {probe})) {
+                warn(logFmt("dropping group at physical row ",
+                            group.basePhysRow,
+                            ": aggressor cannot hammer it (remapped?)"));
+                continue;
+            }
+            pool.push_back(std::move(group));
+        }
+    }
+    const int have = std::min<int>(count, static_cast<int>(pool.size()));
+    return {pool.begin(), pool.begin() + have};
+}
+
+const RowGroup &
+TrrReveng::groupWide()
+{
+    if (widePool.empty()) {
+        // Six retention-matched rows in a 7-row span are rare; scan the
+        // whole bank and fall back to other banks if needed.
+        const int banks = host.module().spec().banks;
+        for (int attempt = 0; attempt < banks && widePool.empty();
+             ++attempt) {
+            RowScoutConfig scout_cfg;
+            scout_cfg.bank = (cfg.bank + attempt) % banks;
+            scout_cfg.rowStart = cfg.scoutRowStart;
+            scout_cfg.rowEnd = std::min(
+                cfg.wideScoutRowEnd,
+                host.module().spec().rowsPerBank);
+            scout_cfg.layout = RowGroupLayout::parse("RRR-RRR");
+            scout_cfg.groupCount = 1;
+            scout_cfg.consistencyChecks = cfg.consistencyChecks;
+            RowScout scout(host, mapping, scout_cfg);
+            widePool = scout.scout();
+        }
+        UTRR_ASSERT(!widePool.empty(),
+                    "row scout found no RRR-RRR group in any bank");
+    }
+    return widePool.front();
+}
+
+TrrExperimentConfig
+TrrReveng::configFor(const std::vector<RowGroup> &groups,
+                     const IterationPlan &plan) const
+{
+    UTRR_ASSERT(plan.hammersPerGroup.size() == groups.size(),
+                "one hammer count per group");
+    TrrExperimentConfig config;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (plan.hammersPerGroup[g] <= 0)
+            continue;
+        AggressorSpec aggr;
+        aggr.physRow = groups[g].gapPhysRows().front();
+        aggr.hammers = plan.hammersPerGroup[g];
+        config.aggressors.push_back(aggr);
+    }
+    config.mode = plan.mode;
+    config.rounds = 1;
+    config.refsPerRound = 1;
+    config.dummyRowCount = plan.dummyRowCount;
+    config.dummyHammers = plan.dummyHammers;
+    config.dummiesFirst = plan.dummiesFirst;
+    config.reset = TrrResetMode::kNone;
+    config.skipAggressorInit = !plan.initAggressorsEachIter;
+    return config;
+}
+
+TrrReveng::IterationTrace
+TrrReveng::runIterations(const std::vector<RowGroup> &groups,
+                         const IterationPlan &plan, int iterations,
+                         const IterationPlan *first_iter_plan)
+{
+    // One reset up front; iterations themselves must not reset so that
+    // REF-count periodicities stay observable.
+    std::vector<Row> avoid;
+    for (const RowGroup &group : groups) {
+        for (const ProfiledRow &row : group.rows)
+            avoid.push_back(row.physRow);
+        for (Row gap : group.gapPhysRows())
+            avoid.push_back(gap);
+    }
+    analyzer.resetTrrState(groups.front().bank, avoid, 768, 32, 16);
+
+    IterationTrace trace;
+    for (int it = 0; it < iterations; ++it) {
+        const IterationPlan &active =
+            (it == 0 && first_iter_plan != nullptr) ? *first_iter_plan
+                                                    : plan;
+        TrrExperimentConfig config = configFor(groups, active);
+        if (it == 0)
+            config.skipAggressorInit = false; // data must exist once
+        const TrrMultiResult result =
+            analyzer.runExperimentMulti(groups, config);
+        std::vector<std::uint64_t> masks;
+        for (const TrrExperimentResult &res : result.perGroup)
+            masks.push_back(res.refreshedMask());
+        trace.masks.push_back(std::move(masks));
+    }
+    return trace;
+}
+
+int
+TrrReveng::discoverTrrRefPeriod()
+{
+    // Paper §6.1.1: with N >= 16 hammered row groups, some group is
+    // refreshed at every TRR-capable REF, exposing the TRR-to-REF
+    // ratio as the dominant gap between refresh events.
+    std::vector<RowGroup> groups = groupsRR(16, cfg.bank);
+    UTRR_ASSERT(!groups.empty(), "no R-R groups available");
+
+    IterationPlan plan;
+    plan.hammersPerGroup.assign(groups.size(), 2'000);
+    plan.mode = HammerMode::kCascaded;
+
+    const IterationTrace trace =
+        runIterations(groups, plan, cfg.periodIterations);
+    const int period = IterationTrace::dominantPeriod(trace.anyEvents());
+    inform(logFmt("TRR-capable REF period: ", period));
+    return period;
+}
+
+int
+TrrReveng::discoverNeighborsRefreshed()
+{
+    // Paper Obs. A2/B2/C3: profile three rows on each side of one
+    // aggressor (RRR-RRR) and see which of them a TRR-induced refresh
+    // covers. The dominant refresh mask across events belongs to the
+    // aggressor (counter/sampler noise produces minority masks).
+    const RowGroup &group = groupWide();
+
+    IterationPlan plan;
+    plan.hammersPerGroup = {cfg.aggressorHammers};
+
+    const IterationTrace trace =
+        runIterations({group}, plan, cfg.periodIterations);
+
+    std::map<std::uint64_t, int> mask_counts;
+    for (const auto &masks : trace.masks) {
+        if (masks[0] != 0)
+            ++mask_counts[masks[0]];
+    }
+    std::uint64_t best_mask = 0;
+    int best_count = 0;
+    for (const auto &[mask, count] : mask_counts) {
+        if (count > best_count) {
+            best_count = count;
+            best_mask = mask;
+        }
+    }
+    const int neighbours = std::popcount(best_mask);
+    inform(logFmt("neighbours refreshed per TRR refresh: ", neighbours));
+    return neighbours;
+}
+
+DetectionType
+TrrReveng::discoverDetectionType()
+{
+    std::vector<RowGroup> groups = groupsRR(2, cfg.bank);
+    UTRR_ASSERT(groups.size() == 2, "need two R-R groups");
+
+    // Test (a) — multi-aggressor state with traversal: hammer the
+    // first aggressor once, then give it ZERO activations (not even
+    // re-initialization). A counter table retains the entry and its
+    // traversal (TREF_b) keeps detecting it periodically (Obs. A7); a
+    // sampler or detection window can never detect a row that is not
+    // activated again.
+    {
+        IterationPlan first;
+        first.hammersPerGroup = {2'000, cfg.aggressorHammers};
+        first.mode = HammerMode::kCascaded;
+        IterationPlan rest = first;
+        rest.hammersPerGroup = {0, cfg.aggressorHammers};
+        rest.initAggressorsEachIter = false;
+
+        const IterationTrace trace =
+            runIterations(groups, rest, 900, &first);
+        int late_events = 0;
+        for (int it : trace.eventsOf(0)) {
+            if (it >= 2)
+                ++late_events;
+        }
+        if (late_events >= 2) {
+            inform("detection type: counter-based");
+            return DetectionType::kCounterBased;
+        }
+    }
+
+    // Test (b) — order bias with equal hammer counts: a sampler favours
+    // the aggressor hammered last; a post-TRR detection window favours
+    // the one hammered first.
+    {
+        IterationPlan plan;
+        plan.hammersPerGroup = {2'000, 2'000};
+        plan.mode = HammerMode::kCascaded;
+        const IterationTrace trace = runIterations(groups, plan, 160);
+        const auto e0 = trace.eventsOf(0).size();
+        const auto e1 = trace.eventsOf(1).size();
+        if (e0 + e1 == 0) {
+            warn("detection-type probe saw no TRR refreshes");
+            return DetectionType::kUnknown;
+        }
+        const double share0 = static_cast<double>(e0) /
+            static_cast<double>(e0 + e1);
+        if (share0 <= 0.3) {
+            inform("detection type: sampling-based");
+            return DetectionType::kSamplingBased;
+        }
+        if (share0 >= 0.7) {
+            inform("detection type: window-based");
+            return DetectionType::kWindowBased;
+        }
+        warn(logFmt("ambiguous detection-type share ", share0));
+        return DetectionType::kUnknown;
+    }
+}
+
+int
+TrrReveng::discoverAggressorCapacity()
+{
+    // Paper §6.1.2: grow the number of simultaneously hammered
+    // aggressors until some group stops ever being refreshed.
+    int last_pass = 1;
+    for (int n : cfg.capacityProbes) {
+        std::vector<RowGroup> groups = groupsRR(n, cfg.bank);
+        if (static_cast<int>(groups.size()) < n) {
+            warn(logFmt("capacity probe stopped at N=", n,
+                        ": only ", groups.size(), " groups available"));
+            break;
+        }
+        IterationPlan plan;
+        plan.hammersPerGroup.assign(groups.size(), 1'000);
+        plan.mode = HammerMode::kCascaded;
+        // With N tracked aggressors, each one is only detected every
+        // ~N TRR-refresh rounds; scale the run so a covered group sees
+        // ~10 expected events and a zero count really means starvation.
+        const int iterations = std::max(cfg.capacityIterations, 90 * n);
+        const IterationTrace trace =
+            runIterations(groups, plan, iterations);
+        // Starvation shows as a group receiving far less than its fair
+        // share of refreshes (a starved aggressor may still catch a
+        // stray detection during the initial transient).
+        std::vector<int> event_counts;
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            event_counts.push_back(
+                static_cast<int>(trace.eventsOf(g).size()));
+        }
+        std::vector<int> sorted = event_counts;
+        std::sort(sorted.begin(), sorted.end());
+        const int median = sorted[sorted.size() / 2];
+        bool all_covered = true;
+        for (int events : event_counts) {
+            if (events < std::max(1, median / 3)) {
+                all_covered = false;
+                break;
+            }
+        }
+        inform(logFmt("capacity probe N=", n, ": ",
+                      all_covered ? "all groups refreshed"
+                                  : "starving group found"));
+        if (!all_covered)
+            break;
+        last_pass = n;
+    }
+    return last_pass;
+}
+
+bool
+TrrReveng::discoverEvictMinPolicy()
+{
+    // Paper Obs. A5: with 17 aggressors, the one hammered least must be
+    // the standing eviction victim and never get detected.
+    std::vector<RowGroup> groups = groupsRR(17, cfg.bank);
+    if (groups.size() < 17) {
+        warn("evict-min probe needs 17 groups; skipping");
+        return false;
+    }
+    IterationPlan plan;
+    plan.hammersPerGroup.assign(groups.size(), 100);
+    plan.hammersPerGroup[0] = 50; // the low-count aggressor, first
+    plan.mode = HammerMode::kCascaded;
+    const IterationTrace trace = runIterations(groups, plan, 300);
+    return trace.eventsOf(0).empty();
+}
+
+bool
+TrrReveng::discoverCounterResetOnDetect()
+{
+    // Paper Obs. A6: with counters reset on detection, two steadily
+    // hammered aggressors alternate in TREF_a detections, so the
+    // lighter one receives a substantial share of the refreshes.
+    std::vector<RowGroup> groups = groupsRR(2, cfg.bank);
+    UTRR_ASSERT(groups.size() == 2, "need two R-R groups");
+    IterationPlan plan;
+    plan.hammersPerGroup = {2'000, 3'000};
+    plan.mode = HammerMode::kCascaded;
+    const IterationTrace trace = runIterations(groups, plan, 400);
+    const auto e0 = trace.eventsOf(0).size();
+    const auto e1 = trace.eventsOf(1).size();
+    if (e0 + e1 == 0)
+        return false;
+    const double share0 =
+        static_cast<double>(e0) / static_cast<double>(e0 + e1);
+    return share0 >= 0.25;
+}
+
+bool
+TrrReveng::discoverTablePersistence()
+{
+    // Paper Obs. A7: hammer once, then watch: table entries keep being
+    // detected (via the traversal) long after hammering stops.
+    std::vector<RowGroup> groups = groupsRR(1, cfg.bank);
+    UTRR_ASSERT(!groups.empty(), "need one R-R group");
+    IterationPlan first;
+    first.hammersPerGroup = {cfg.aggressorHammers};
+    IterationPlan rest;
+    rest.hammersPerGroup = {0};
+
+    const int iterations = 510;
+    const IterationTrace trace =
+        runIterations(groups, rest, iterations, &first);
+    for (int it : trace.eventsOf(0)) {
+        if (it >= 2 * iterations / 3)
+            return true;
+    }
+    return false;
+}
+
+bool
+TrrReveng::discoverSamplerRetention()
+{
+    // Paper Obs. B5: a TRR-induced refresh does not clear the sampled
+    // row. Observing *two* refresh events from a single hammer burst
+    // proves it: a cleared-on-use sampler could only produce one.
+    // The victims' own init/read ACTs eventually re-seed the sampler,
+    // so the window is short; several independent trials make the
+    // probe robust.
+    std::vector<RowGroup> groups = groupsRR(1, cfg.bank);
+    UTRR_ASSERT(!groups.empty(), "need one R-R group");
+    IterationPlan first;
+    first.hammersPerGroup = {cfg.aggressorHammers};
+    IterationPlan rest;
+    rest.hammersPerGroup = {0};
+    for (int trial = 0; trial < 6; ++trial) {
+        const IterationTrace trace =
+            runIterations(groups, rest, 16, &first);
+        if (trace.eventsOf(0).size() >= 2)
+            return true;
+    }
+    return false;
+}
+
+int
+TrrReveng::discoverDetectionWindow()
+{
+    // Paper Obs. C2: insert a growing burst of ACTs to a first
+    // aggressor before hammering a second one. Once the burst covers
+    // the whole detection window, the second aggressor becomes
+    // invisible to TRR. Only meaningful for window-based detection —
+    // discoverAll() gates on the detection type.
+    std::vector<RowGroup> groups = groupsRR(2, cfg.bank);
+    UTRR_ASSERT(groups.size() == 2, "need two R-R groups");
+
+    double baseline_share = -1.0;
+    for (int burst : cfg.windowProbes) {
+        IterationPlan plan;
+        plan.hammersPerGroup = {burst, 2'000};
+        plan.mode = HammerMode::kCascaded;
+        plan.initAggressorsEachIter = false;
+        const IterationTrace trace = runIterations(groups, plan, 170);
+        const auto e0 = trace.eventsOf(0).size();
+        const auto e1 = trace.eventsOf(1).size();
+        const double share1 = e0 + e1 == 0
+            ? 0.0
+            : static_cast<double>(e1) / static_cast<double>(e0 + e1);
+        inform(logFmt("window probe burst=", burst, ": late-aggressor ",
+                      "share ", share1));
+        if (baseline_share < 0.0) {
+            baseline_share = share1;
+            if (baseline_share < 0.3)
+                return 0; // no early-ACT advantage: not window-based
+            continue;
+        }
+        if (share1 <= 0.12)
+            return burst;
+    }
+    return 0;
+}
+
+bool
+TrrReveng::discoverPerBankScope()
+{
+    // Paper Obs. A4/B4: hammer one aggressor in each of two banks; if
+    // detection state is chip-wide, only the most recently hammered
+    // bank's victims ever get refreshed.
+    std::vector<RowGroup> groups_a = groupsRR(1, cfg.bank);
+    UTRR_ASSERT(!groups_a.empty(), "need a group in the first bank");
+    const RowGroup &group_a = groups_a.front();
+    const Time t = group_a.retention;
+
+    // The second bank's group must share the first group's retention
+    // time so a single experiment timeline serves both.
+    RowScoutConfig scout_cfg;
+    scout_cfg.bank = cfg.secondBank;
+    scout_cfg.rowStart = cfg.scoutRowStart;
+    scout_cfg.rowEnd = cfg.scoutRowEnd;
+    scout_cfg.layout = RowGroupLayout::parse("R-R");
+    scout_cfg.groupCount = 1;
+    scout_cfg.consistencyChecks = cfg.consistencyChecks;
+    scout_cfg.initialT = t;
+    scout_cfg.stepT = 50 * kNsPerMs;
+    scout_cfg.maxT = t;
+    RowScout scout(host, mapping, scout_cfg);
+    const std::vector<RowGroup> groups_b = scout.scout();
+    if (groups_b.empty()) {
+        warn("per-bank probe: no matching-T group in second bank");
+        return true;
+    }
+    const RowGroup &group_b = groups_b.front();
+
+    auto avoid_of = [](const RowGroup &group) {
+        std::vector<Row> avoid;
+        for (const ProfiledRow &row : group.rows)
+            avoid.push_back(row.physRow);
+        for (Row gap : group.gapPhysRows())
+            avoid.push_back(gap);
+        return avoid;
+    };
+    analyzer.resetTrrState(group_a.bank, avoid_of(group_a), 384, 32, 16);
+    analyzer.resetTrrState(group_b.bank, avoid_of(group_b), 384, 32, 16);
+
+    const Row aggr_a =
+        mapping.toLogical(group_a.gapPhysRows().front());
+    const Row aggr_b =
+        mapping.toLogical(group_b.gapPhysRows().front());
+
+    int events_a = 0;
+    int events_b = 0;
+    for (int it = 0; it < 72; ++it) {
+        host.writeRow(group_a.bank, aggr_a, DataPattern::allZeros());
+        host.writeRow(group_b.bank, aggr_b, DataPattern::allZeros());
+        for (const ProfiledRow &row : group_a.rows)
+            host.writeRow(row.bank, row.logicalRow,
+                          DataPattern::allOnes());
+        for (const ProfiledRow &row : group_b.rows)
+            host.writeRow(row.bank, row.logicalRow,
+                          DataPattern::allOnes());
+        host.wait(t / 2);
+        // Bank A first, bank B last: a chip-wide sampler ends up
+        // holding the bank-B aggressor.
+        host.hammer(group_a.bank, aggr_a, 3'000);
+        host.hammer(group_b.bank, aggr_b, 3'000);
+        host.ref();
+        host.wait(t / 2);
+
+        bool hit_a = false;
+        for (const ProfiledRow &row : group_a.rows) {
+            if (host.readRow(row.bank, row.logicalRow)
+                    .countFlipsVs(DataPattern::allOnes(),
+                                  row.logicalRow) == 0) {
+                hit_a = true;
+            }
+        }
+        bool hit_b = false;
+        for (const ProfiledRow &row : group_b.rows) {
+            if (host.readRow(row.bank, row.logicalRow)
+                    .countFlipsVs(DataPattern::allOnes(),
+                                  row.logicalRow) == 0) {
+                hit_b = true;
+            }
+        }
+        events_a += hit_a ? 1 : 0;
+        events_b += hit_b ? 1 : 0;
+    }
+    inform(logFmt("per-bank probe: bank-A events ", events_a,
+                  ", bank-B events ", events_b));
+    return events_a >= 1;
+}
+
+int
+TrrReveng::discoverRegularRefreshPeriod()
+{
+    // Paper Obs. A8: with no hammering at all, a profiled row is only
+    // ever refreshed by the periodic sweep; the gap (in REF commands)
+    // between refresh events is the internal regular-refresh period.
+    // A single-R layout keeps TRR-induced refreshes of the profiled
+    // row's own neighbourhood out of the picture.
+    RowScoutConfig scout_cfg;
+    scout_cfg.bank = cfg.bank;
+    scout_cfg.rowStart = cfg.scoutRowStart;
+    scout_cfg.rowEnd = cfg.scoutRowEnd;
+    scout_cfg.layout = RowGroupLayout::parse("R");
+    scout_cfg.groupCount = 1;
+    // This analysis watches a single row over thousands of iterations;
+    // a VRT row that sneaks past a reduced validation budget would fake
+    // refresh events, so insist on a strong consistency check here.
+    scout_cfg.consistencyChecks = std::max(cfg.consistencyChecks, 250);
+    RowScout scout(host, mapping, scout_cfg);
+    const std::vector<RowGroup> groups = scout.scout();
+    UTRR_ASSERT(!groups.empty(), "no single-R group found");
+    const RowGroup &group = groups.front();
+
+    TrrExperimentConfig config;
+    config.reset = TrrResetMode::kNone;
+    config.refsPerRound = 1;
+
+    std::vector<int> events;
+    for (int it = 0; it < cfg.regularRefreshMaxIters; ++it) {
+        const TrrExperimentResult result =
+            analyzer.runExperiment(group, config);
+        if (result.anyRefreshed())
+            events.push_back(it);
+        if (events.size() >= 4)
+            break;
+    }
+    if (events.size() < 2) {
+        warn("regular-refresh probe saw fewer than two events");
+        return 0;
+    }
+    const int period = IterationTrace::dominantPeriod(events);
+    inform(logFmt("regular-refresh period: ", period, " REFs"));
+    return period;
+}
+
+TrrProfile
+TrrReveng::discoverAll(bool include_slow)
+{
+    TrrProfile profile;
+    profile.trrToRefPeriod = discoverTrrRefPeriod();
+    profile.neighborsRefreshed = discoverNeighborsRefreshed();
+    profile.detection = discoverDetectionType();
+
+    switch (profile.detection) {
+      case DetectionType::kCounterBased:
+        profile.countersResetOnDetect = discoverCounterResetOnDetect();
+        profile.tableEntriesPersist = discoverTablePersistence();
+        if (include_slow)
+            profile.evictsMinCounter = discoverEvictMinPolicy();
+        break;
+      case DetectionType::kSamplingBased:
+        profile.samplerRetained = discoverSamplerRetention();
+        break;
+      case DetectionType::kWindowBased:
+        profile.detectionWindowActs = discoverDetectionWindow();
+        break;
+      case DetectionType::kUnknown:
+        break;
+    }
+
+    if (include_slow) {
+        profile.aggressorCapacity = discoverAggressorCapacity();
+        profile.perBank = discoverPerBankScope();
+        profile.regularRefreshPeriodRefs = discoverRegularRefreshPeriod();
+    }
+    return profile;
+}
+
+} // namespace utrr

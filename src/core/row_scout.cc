@@ -1,0 +1,183 @@
+#include "core/row_scout.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace utrr
+{
+
+RowScout::RowScout(SoftMcHost &host, DiscoveredMapping mapping,
+                   RowScoutConfig config)
+    : host(host), mapping(std::move(mapping)), cfg(std::move(config))
+{
+    UTRR_ASSERT(cfg.rowStart >= 0 && cfg.rowEnd > cfg.rowStart,
+                "bad row range");
+    UTRR_ASSERT(cfg.initialT > 0 && cfg.stepT > 0, "bad T schedule");
+}
+
+std::map<Row, int>
+RowScout::scanFailingRows(Time t)
+{
+    // Batch profiling pass: initialize every row in the range, let the
+    // whole range decay for t with refresh disabled, then read back.
+    for (Row r = cfg.rowStart; r < cfg.rowEnd; ++r)
+        host.writeRow(cfg.bank, r, cfg.pattern);
+    host.wait(t);
+
+    std::map<Row, int> failing;
+    for (Row r = cfg.rowStart; r < cfg.rowEnd; ++r) {
+        const RowReadout readout = host.readRow(cfg.bank, r);
+        const int flips = readout.countFlipsVs(cfg.pattern, r);
+        if (flips > 0)
+            failing[r] = flips;
+    }
+    return failing;
+}
+
+bool
+RowScout::validateRetention(Row logical_row, Time t, int checks)
+{
+    for (int i = 0; i < checks; ++i) {
+        ++validations;
+        // Hold check: the row must retain its data strictly longer
+        // than t/2 (0.55*t adds margin for the time an experiment
+        // spends hammering before the mid-point REF). A row that fails
+        // before t/2 could never be saved by a TRR-induced refresh and
+        // would always read as "not refreshed" (paper footnote 4).
+        host.writeRow(cfg.bank, logical_row, cfg.pattern);
+        host.wait(t * 55 / 100);
+        if (host.readRow(cfg.bank, logical_row)
+                .countFlipsVs(cfg.pattern, logical_row) != 0) {
+            return false;
+        }
+        // Fail check: the row must reliably fail after t.
+        host.writeRow(cfg.bank, logical_row, cfg.pattern);
+        host.wait(t);
+        if (host.readRow(cfg.bank, logical_row)
+                .countFlipsVs(cfg.pattern, logical_row) == 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<RowGroup>
+RowScout::formCandidateGroups(const std::map<Row, Time> &first_fail,
+                              Time t) const
+{
+    // Eligible rows: failed first in (t/2, t], so they hold for t/2 and
+    // fail by t — exactly the side-channel requirement.
+    std::set<Row> eligible_phys;
+    for (const auto &[logical, fail_t] : first_fail) {
+        if (fail_t <= t / 2 || fail_t > t)
+            continue;
+        if (mapping.isAnomalous(logical))
+            continue;
+        eligible_phys.insert(mapping.toPhysical(logical));
+    }
+
+    std::vector<RowGroup> candidates;
+    const auto &offsets = cfg.layout.profiledOffsets();
+    for (Row base : eligible_phys) {
+        bool ok = true;
+        for (int off : offsets) {
+            if (!eligible_phys.count(base + off)) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok)
+            continue;
+        // Gap (aggressor) positions must be addressable, in range and
+        // not known-remapped.
+        for (int gap : cfg.layout.gapOffsets()) {
+            const Row gap_logical = mapping.toLogical(base + gap);
+            if (gap_logical < cfg.rowStart || gap_logical >= cfg.rowEnd ||
+                mapping.isAnomalous(gap_logical)) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok)
+            continue;
+
+        RowGroup group;
+        group.layout = cfg.layout;
+        group.basePhysRow = base;
+        group.bank = cfg.bank;
+        group.retention = t;
+        for (int off : offsets) {
+            ProfiledRow row;
+            row.bank = cfg.bank;
+            row.physRow = base + off;
+            row.logicalRow = mapping.toLogical(base + off);
+            row.retention = t;
+            group.rows.push_back(row);
+        }
+        candidates.push_back(std::move(group));
+    }
+    return candidates;
+}
+
+std::vector<RowGroup>
+RowScout::scout()
+{
+    // All returned groups must share one retention time T (paper §4.1:
+    // "multiple rows that have the same retention times"), so every T
+    // escalation restarts group selection from scratch (Fig. 6).
+    std::map<Row, Time> first_fail;
+    std::vector<RowGroup> best;
+
+    for (Time t = cfg.initialT; t <= cfg.maxT; t += cfg.stepT) {
+        debug(logFmt("row scout: scanning at T = ", nsToMs(t), " ms"));
+        const std::map<Row, int> failing = scanFailingRows(t);
+        for (const auto &[row, flips] : failing) {
+            if (!first_fail.count(row))
+                first_fail[row] = t;
+        }
+
+        std::vector<RowGroup> groups;
+        std::set<Row> reserved_phys;
+        auto overlaps_reserved = [&](const RowGroup &group) {
+            for (int d = -cfg.groupSeparation;
+                 d < cfg.layout.span() + cfg.groupSeparation; ++d) {
+                if (reserved_phys.count(group.basePhysRow + d))
+                    return true;
+            }
+            return false;
+        };
+
+        for (RowGroup &group : formCandidateGroups(first_fail, t)) {
+            if (overlaps_reserved(group))
+                continue;
+            bool consistent = true;
+            for (const ProfiledRow &row : group.rows) {
+                if (!validateRetention(row.logicalRow, t,
+                                       cfg.consistencyChecks)) {
+                    consistent = false;
+                    debug(logFmt("row ", row.logicalRow,
+                                 " failed consistency (VRT?)"));
+                    break;
+                }
+            }
+            if (!consistent)
+                continue;
+            for (int d = 0; d < cfg.layout.span(); ++d)
+                reserved_phys.insert(group.basePhysRow + d);
+            groups.push_back(std::move(group));
+            if (static_cast<int>(groups.size()) >= cfg.groupCount)
+                return groups;
+        }
+        if (groups.size() > best.size())
+            best = std::move(groups);
+    }
+
+    warn(logFmt("row scout found only ", best.size(), " of ",
+                cfg.groupCount, " requested groups (layout ",
+                cfg.layout.text(), ")"));
+    return best;
+}
+
+} // namespace utrr

@@ -1,0 +1,154 @@
+#include "dram/bank.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace utrr
+{
+
+DramBank::DramBank(Bank id, Row phys_rows,
+                   const PhysicsGenerator *generator)
+    : id(id), physRowCount(phys_rows), gen(generator)
+{
+    UTRR_ASSERT(gen != nullptr, "bank needs a physics generator");
+}
+
+RowState &
+DramBank::rowAt(Row phys_row, Time now)
+{
+    UTRR_ASSERT(phys_row >= 0 && phys_row < physRowCount,
+                logFmt("physical row ", phys_row, " out of range in bank ",
+                       id));
+    auto it = rows.find(phys_row);
+    if (it == rows.end()) {
+        // Materialize with retention physics only; hammer cells attach
+        // lazily on first disturbance (they are ~30x larger).
+        RowPhysics phys = gen->generateRetention(id, phys_row);
+        const auto &ret = gen->retentionConfig();
+        Rng vrt_rng = Rng(hashMix(
+            0x9e3779b9ULL ^ (static_cast<std::uint64_t>(id) << 44) ^
+            static_cast<std::uint64_t>(phys_row)));
+        it = rows
+                 .emplace(phys_row,
+                          RowState(std::move(phys), now, vrt_rng,
+                                   gen->rowBits(),
+                                   msToNs(ret.vrtDwellMs),
+                                   ret.vrtHighFactor))
+                 .first;
+    }
+    return it->second;
+}
+
+const RowState *
+DramBank::peekRow(Row phys_row) const
+{
+    const auto it = rows.find(phys_row);
+    return it == rows.end() ? nullptr : &it->second;
+}
+
+void
+DramBank::disturbOne(Row aggressor, RowState &aggr_state, Row victim,
+                     double weight, Time now)
+{
+    if (victim < 0 || victim >= physRowCount)
+        return;
+    RowState &v = rowAt(victim, now);
+    if (!v.hasHammerCells()) {
+        RowPhysics full = gen->generate(id, victim);
+        v.setHammerCells(std::move(full.hammerCells));
+    }
+
+    const auto &ham = gen->hammerConfig();
+    double w = weight;
+    // Alternating aggressors pump more charge than repeated activation
+    // of the same row (makes interleaved > cascaded, §5.2).
+    if (v.lastDisturber() == aggressor)
+        w *= ham.repeatWeight;
+    // Aggressor/victim data coupling: same stored data disturbs less.
+    if (aggr_state.storedWord0() == v.storedWord0())
+        w *= ham.sameDataWeight;
+    v.addDisturbance(aggressor, w);
+}
+
+void
+DramBank::disturbNeighbours(Row aggressor, Time now)
+{
+    const auto &ham = gen->hammerConfig();
+    RowState &aggr = rowAt(aggressor, now);
+    if (ham.paired) {
+        // Paired-row organization (C0-8): a row only disturbs its pair.
+        disturbOne(aggressor, aggr, aggressor ^ 1, 1.0, now);
+        return;
+    }
+    disturbOne(aggressor, aggr, aggressor - 1, 1.0, now);
+    disturbOne(aggressor, aggr, aggressor + 1, 1.0, now);
+    if (ham.distance2Weight > 0.0) {
+        disturbOne(aggressor, aggr, aggressor - 2, ham.distance2Weight,
+                   now);
+        disturbOne(aggressor, aggr, aggressor + 2, ham.distance2Weight,
+                   now);
+    }
+}
+
+void
+DramBank::activate(Row phys_row, Time now)
+{
+    UTRR_ASSERT(open == kInvalidRow,
+                logFmt("ACT to bank ", id, " with row ", open,
+                       " still open"));
+    open = phys_row;
+    ++acts;
+    rowAt(phys_row, now).restoreCharge(now);
+    disturbNeighbours(phys_row, now);
+}
+
+void
+DramBank::precharge(Time /*now*/)
+{
+    open = kInvalidRow;
+}
+
+void
+DramBank::writeOpenRow(const DataPattern &pattern, Row pattern_row,
+                       Time now)
+{
+    UTRR_ASSERT(open != kInvalidRow, "WR with no open row");
+    rowAt(open, now).writePattern(pattern, pattern_row, now);
+}
+
+void
+DramBank::writeOpenRowWord(int word_idx, std::uint64_t value)
+{
+    UTRR_ASSERT(open != kInvalidRow, "WR with no open row");
+    rows.at(open).writeWord(word_idx, value);
+}
+
+RowReadout
+DramBank::readOpenRow() const
+{
+    UTRR_ASSERT(open != kInvalidRow, "RD with no open row");
+    return rows.at(open).read();
+}
+
+void
+DramBank::refreshRow(Row phys_row, Time now)
+{
+    ++rowRefreshes;
+    auto it = rows.find(phys_row);
+    if (it == rows.end())
+        return; // untouched rows count as fresh at materialization
+    it->second.restoreCharge(now);
+}
+
+void
+DramBank::refreshRange(Row phys_lo, Row phys_hi, Time now)
+{
+    for (auto it = rows.lower_bound(phys_lo);
+         it != rows.end() && it->first < phys_hi; ++it) {
+        ++rowRefreshes;
+        it->second.restoreCharge(now);
+    }
+}
+
+} // namespace utrr

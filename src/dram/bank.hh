@@ -1,0 +1,100 @@
+/**
+ * @file
+ * One DRAM bank, operating entirely in *physical* row space.
+ *
+ * The bank owns the sparse per-row state (rows materialize on first
+ * touch), executes the physical side effects of ACT/PRE/WR/RD/row-refresh
+ * and applies RowHammer disturbance to the physical neighbours of every
+ * activated row. Logical-to-physical translation happens one level up,
+ * in DramModule.
+ */
+
+#ifndef UTRR_DRAM_BANK_HH
+#define UTRR_DRAM_BANK_HH
+
+#include <cstdint>
+#include <map>
+
+#include "common/types.hh"
+#include "dram/physics.hh"
+#include "dram/row.hh"
+
+namespace utrr
+{
+
+/**
+ * Physical state of one DRAM bank.
+ */
+class DramBank
+{
+  public:
+    /**
+     * @param id bank index (used to derive per-row physics streams)
+     * @param phys_rows number of physical rows including spares
+     * @param generator shared per-module physics generator (not owned)
+     */
+    DramBank(Bank id, Row phys_rows, const PhysicsGenerator *generator);
+
+    /** Open a row: restore its charge, disturb its neighbours. */
+    void activate(Row phys_row, Time now);
+
+    /** Close the open row. */
+    void precharge(Time now);
+
+    /** Write a whole-row pattern into the open row. */
+    void writeOpenRow(const DataPattern &pattern, Row pattern_row,
+                      Time now);
+
+    /** Write one 64-bit word of the open row. */
+    void writeOpenRowWord(int word_idx, std::uint64_t value);
+
+    /** Read the open row. */
+    RowReadout readOpenRow() const;
+
+    /**
+     * Refresh a single physical row (used by the internal refresh engine
+     * and by TRR-induced refreshes). No disturbance is applied.
+     */
+    void refreshRow(Row phys_row, Time now);
+
+    /** Refresh all materialized rows in [phys_lo, phys_hi). */
+    void refreshRange(Row phys_lo, Row phys_hi, Time now);
+
+    /** Currently open physical row, or kInvalidRow. */
+    Row openRow() const { return open; }
+
+    /** Physical rows in this bank (including spares). */
+    Row physRows() const { return physRowCount; }
+
+    /** Direct row-state access for white-box tests and fast readback. */
+    const RowState *peekRow(Row phys_row) const;
+
+    /** Materialize (if needed) and return a row's state. */
+    RowState &rowAt(Row phys_row, Time now);
+
+    /** Total ACT commands seen by this bank. */
+    std::uint64_t actCount() const { return acts; }
+
+    /** Total single-row refreshes performed in this bank. */
+    std::uint64_t rowRefreshCount() const { return rowRefreshes; }
+
+    /** Number of materialized rows (memory footprint diagnostics). */
+    std::size_t materializedRows() const { return rows.size(); }
+
+  private:
+    void disturbNeighbours(Row aggressor, Time now);
+    void disturbOne(Row aggressor, RowState &aggr_state, Row victim,
+                    double weight, Time now);
+
+    Bank id;
+    Row physRowCount;
+    const PhysicsGenerator *gen;
+    std::map<Row, RowState> rows;
+    Row open = kInvalidRow;
+    std::uint64_t acts = 0;
+    std::uint64_t rowRefreshes = 0;
+};
+
+} // namespace utrr
+
+#endif // UTRR_DRAM_BANK_HH

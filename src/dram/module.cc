@@ -1,0 +1,165 @@
+#include "dram/module.hh"
+
+#include "common/logging.hh"
+
+namespace utrr
+{
+
+DramModule::DramModule(ModuleSpec spec, std::uint64_t seed,
+                       const RetentionModelConfig *retention_overrides)
+    : moduleSpec(std::move(spec)),
+      engine(moduleSpec.physRowsPerBank(), moduleSpec.refreshPeriodRefs)
+{
+    RetentionModelConfig ret_cfg;
+    if (retention_overrides != nullptr)
+        ret_cfg = *retention_overrides;
+
+    HammerModelConfig ham_cfg;
+    ham_cfg.hcFirst = moduleSpec.hcFirst;
+    ham_cfg.rowSigma = moduleSpec.hcRowSigma;
+    ham_cfg.paired = moduleSpec.paired();
+
+    gen = std::make_unique<PhysicsGenerator>(ret_cfg, ham_cfg, seed,
+                                             moduleSpec.rowBits);
+
+    Rng map_rng(hashMix(seed ^ 0xdeadbeefULL));
+    banks.reserve(static_cast<std::size_t>(moduleSpec.banks));
+    mappings.reserve(static_cast<std::size_t>(moduleSpec.banks));
+    for (Bank b = 0; b < moduleSpec.banks; ++b) {
+        banks.emplace_back(b, moduleSpec.physRowsPerBank(), gen.get());
+        mappings.emplace_back(moduleSpec.scramble, moduleSpec.rowsPerBank,
+                              moduleSpec.remapsPerBank,
+                              map_rng.fork(static_cast<std::uint64_t>(b)));
+        openLogical.push_back(kInvalidRow);
+    }
+
+    trr = makeTrr(moduleSpec.trr, moduleSpec.banks,
+                  hashMix(seed ^ 0x7272ULL));
+}
+
+DramBank &
+DramModule::bankAt(Bank bank)
+{
+    UTRR_ASSERT(bank >= 0 && bank < moduleSpec.banks,
+                logFmt("bank ", bank, " out of range"));
+    return banks[static_cast<std::size_t>(bank)];
+}
+
+const DramBank &
+DramModule::bankAt(Bank bank) const
+{
+    UTRR_ASSERT(bank >= 0 && bank < moduleSpec.banks,
+                logFmt("bank ", bank, " out of range"));
+    return banks[static_cast<std::size_t>(bank)];
+}
+
+const RowMapping &
+DramModule::mapping(Bank bank) const
+{
+    UTRR_ASSERT(bank >= 0 && bank < moduleSpec.banks,
+                logFmt("bank ", bank, " out of range"));
+    return mappings[static_cast<std::size_t>(bank)];
+}
+
+Row
+DramModule::toPhysical(Bank bank, Row logical_row) const
+{
+    return mapping(bank).toPhysical(logical_row);
+}
+
+Row
+DramModule::toLogical(Bank bank, Row phys_row) const
+{
+    return mapping(bank).toLogical(phys_row);
+}
+
+void
+DramModule::act(Bank bank, Row logical_row, Time now)
+{
+    const Row phys = toPhysical(bank, logical_row);
+    bankAt(bank).activate(phys, now);
+    openLogical[static_cast<std::size_t>(bank)] = logical_row;
+    trr->onActivate(bank, phys);
+}
+
+void
+DramModule::pre(Bank bank, Time now)
+{
+    bankAt(bank).precharge(now);
+    openLogical[static_cast<std::size_t>(bank)] = kInvalidRow;
+}
+
+void
+DramModule::wr(Bank bank, const DataPattern &pattern, Time now)
+{
+    const Row logical = openLogical[static_cast<std::size_t>(bank)];
+    UTRR_ASSERT(logical != kInvalidRow, "WR with no open row");
+    bankAt(bank).writeOpenRow(pattern, logical, now);
+}
+
+void
+DramModule::wrWord(Bank bank, int word_idx, std::uint64_t value)
+{
+    bankAt(bank).writeOpenRowWord(word_idx, value);
+}
+
+RowReadout
+DramModule::rd(Bank bank) const
+{
+    return bankAt(bank).readOpenRow();
+}
+
+std::vector<Row>
+DramModule::victimRowsOf(Row aggressor_phys) const
+{
+    std::vector<Row> victims;
+    if (moduleSpec.paired()) {
+        // Obs. C3: only the pair row is coupled, and only it is
+        // refreshed.
+        victims.push_back(aggressor_phys ^ 1);
+        return victims;
+    }
+    const int neighbours = moduleSpec.traits().neighborsRefreshed;
+    const int reach = neighbours >= 4 ? 2 : 1;
+    for (int d = 1; d <= reach; ++d) {
+        victims.push_back(aggressor_phys - d);
+        victims.push_back(aggressor_phys + d);
+    }
+    return victims;
+}
+
+void
+DramModule::ref(Time now)
+{
+    for (Bank b = 0; b < moduleSpec.banks; ++b) {
+        UTRR_ASSERT(banks[static_cast<std::size_t>(b)].openRow() ==
+                        kInvalidRow,
+                    logFmt("REF with bank ", b, " open"));
+    }
+    ++refs;
+
+    // Regular refresh: every bank refreshes the same physical window.
+    for (const auto &[lo, hi] : engine.onRefresh()) {
+        for (auto &bank : banks)
+            bank.refreshRange(lo, hi, now);
+    }
+
+    // TRR-induced refresh piggybacking on this REF (footnote 3).
+    for (const TrrRefreshAction &action : trr->onRefresh()) {
+        DramBank &bank = bankAt(action.bank);
+        for (Row victim : victimRowsOf(action.aggressorPhysRow)) {
+            if (victim < 0 || victim >= moduleSpec.physRowsPerBank())
+                continue;
+            bank.refreshRow(victim, now);
+            ++trrRefreshes;
+        }
+    }
+}
+
+int
+DramModule::refsUntilRegularRefresh(Row phys_row) const
+{
+    return engine.refsUntilRow(phys_row);
+}
+
+} // namespace utrr

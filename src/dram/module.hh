@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Top-level simulated DDR4 module.
+ *
+ * Exposes exactly the interface a memory controller (or SoftMC) has to a
+ * real module: ACT/PRE/WR/RD/REF with logical addresses. Internally it
+ * translates logical rows to physical locations, applies retention and
+ * RowHammer physics through the banks, runs the internal regular-refresh
+ * engine, and hosts the (proprietary, invisible from outside) TRR
+ * mechanism.
+ *
+ * Chips of a rank operate in lock step and the modelled TRR designs are
+ * command-stream-deterministic, so a single chip-wide model stands in
+ * for the per-chip instances (see DESIGN.md).
+ */
+
+#ifndef UTRR_DRAM_MODULE_HH
+#define UTRR_DRAM_MODULE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/bank.hh"
+#include "dram/mapping.hh"
+#include "dram/module_spec.hh"
+#include "dram/physics.hh"
+#include "dram/refresh_engine.hh"
+#include "trr/trr.hh"
+
+namespace utrr
+{
+
+/**
+ * A simulated DDR4 DRAM module.
+ */
+class DramModule
+{
+  public:
+    /**
+     * @param spec module geometry, physics and TRR configuration
+     * @param seed master seed; all per-row physics derive from it
+     * @param retention_overrides optional replacement retention config
+     */
+    DramModule(ModuleSpec spec, std::uint64_t seed = 1,
+               const RetentionModelConfig *retention_overrides = nullptr);
+
+    /** Activate (open) a logical row. */
+    void act(Bank bank, Row logical_row, Time now);
+
+    /** Precharge (close) a bank. */
+    void pre(Bank bank, Time now);
+
+    /** Write a whole-row pattern into the open row of a bank. */
+    void wr(Bank bank, const DataPattern &pattern, Time now);
+
+    /** Write one 64-bit word of the open row. */
+    void wrWord(Bank bank, int word_idx, std::uint64_t value);
+
+    /** Read the open row of a bank. */
+    RowReadout rd(Bank bank) const;
+
+    /** Refresh command: regular refresh sweep + possible TRR refresh. */
+    void ref(Time now);
+
+    const ModuleSpec &spec() const { return moduleSpec; }
+
+    /** Logical<->physical translation for one bank. */
+    Row toPhysical(Bank bank, Row logical_row) const;
+    Row toLogical(Bank bank, Row phys_row) const;
+    const RowMapping &mapping(Bank bank) const;
+
+    /** Total REF commands received. */
+    std::uint64_t refCount() const { return refs; }
+
+    /** REFs until the sweep next regular-refreshes a physical row. */
+    int refsUntilRegularRefresh(Row phys_row) const;
+
+    /** REF commands per regular-refresh sweep (ground truth). */
+    int regularRefreshPeriod() const { return engine.periodRefs(); }
+
+    // ------------------------------------------------------------------
+    // White-box access for substrate tests and fast bench setup. U-TRR
+    // itself never uses these: it must work through the commands above.
+    // ------------------------------------------------------------------
+
+    /** Direct access to the TRR model. */
+    TrrMechanism &trrMechanism() { return *trr; }
+
+    /** Direct access to a bank. */
+    DramBank &bankAt(Bank bank);
+    const DramBank &bankAt(Bank bank) const;
+
+    /** Reset TRR internal state without the dummy-hammer dance. */
+    void resetTrrState() { trr->reset(); }
+
+    /** The module's physics generator (tests). */
+    const PhysicsGenerator &physics() const { return *gen; }
+
+    /** TRR-induced row refreshes performed so far (ground truth). */
+    std::uint64_t trrRefreshCount() const { return trrRefreshes; }
+
+  private:
+    std::vector<Row> victimRowsOf(Row aggressor_phys) const;
+
+    ModuleSpec moduleSpec;
+    std::unique_ptr<PhysicsGenerator> gen;
+    std::vector<DramBank> banks;
+    std::vector<RowMapping> mappings;
+    std::vector<Row> openLogical;
+    RefreshEngine engine;
+    std::unique_ptr<TrrMechanism> trr;
+    std::uint64_t refs = 0;
+    std::uint64_t trrRefreshes = 0;
+};
+
+} // namespace utrr
+
+#endif // UTRR_DRAM_MODULE_HH

@@ -1,0 +1,62 @@
+#include "dram/refresh_engine.hh"
+
+#include "common/logging.hh"
+
+namespace utrr
+{
+
+RefreshEngine::RefreshEngine(Row phys_rows, int period_refs)
+    : physRows(phys_rows), period(period_refs)
+{
+    UTRR_ASSERT(phys_rows > 0, "need rows");
+    UTRR_ASSERT(period_refs > 0, "need a positive refresh period");
+}
+
+std::vector<std::pair<Row, Row>>
+RefreshEngine::onRefresh()
+{
+    // Integer bresenham-style accumulator: after `period` REFs exactly
+    // `physRows` rows have been refreshed, with no drift.
+    const std::uint64_t step = refs % static_cast<std::uint64_t>(period);
+    const auto rows64 = static_cast<std::uint64_t>(physRows);
+    const Row begin = static_cast<Row>(step * rows64 /
+                                       static_cast<std::uint64_t>(period));
+    const Row end = static_cast<Row>((step + 1) * rows64 /
+                                     static_cast<std::uint64_t>(period));
+    ++refs;
+    position = end >= physRows ? 0 : end;
+
+    std::vector<std::pair<Row, Row>> ranges;
+    if (end > begin)
+        ranges.emplace_back(begin, end);
+    return ranges;
+}
+
+int
+RefreshEngine::refsUntilRow(Row phys_row) const
+{
+    UTRR_ASSERT(phys_row >= 0 && phys_row < physRows, "row out of range");
+    // Find the smallest k >= 0 such that REF number (refs + k) covers
+    // phys_row. REF with in-period step s covers [s*R/P, (s+1)*R/P).
+    const auto rows64 = static_cast<std::uint64_t>(physRows);
+    const auto period64 = static_cast<std::uint64_t>(period);
+    // The step that covers phys_row: s = floor((row * P + P - 1) / R)
+    // adjusted; derive directly: s is the largest s with
+    // s*R/P <= row, i.e. s = floor(((row + 1) * P - 1) / R).
+    const std::uint64_t target =
+        ((static_cast<std::uint64_t>(phys_row) + 1) * period64 - 1) /
+        rows64;
+    const std::uint64_t current = refs % period64;
+    if (target >= current)
+        return static_cast<int>(target - current);
+    return static_cast<int>(period64 - current + target);
+}
+
+void
+RefreshEngine::reset()
+{
+    refs = 0;
+    position = 0;
+}
+
+} // namespace utrr

@@ -1,0 +1,214 @@
+#include "dram/row.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace utrr
+{
+
+RowReadout::RowReadout(DataPattern pattern, Row pattern_row,
+                       std::unordered_map<int, std::uint64_t> overrides,
+                       std::vector<Col> flips, int row_bits)
+    : pattern(pattern), patternRow(pattern_row),
+      overrides(std::move(overrides)), flips(std::move(flips)),
+      bits(row_bits)
+{
+}
+
+std::uint64_t
+RowReadout::storedWord(int word_idx) const
+{
+    const auto it = overrides.find(word_idx);
+    if (it != overrides.end())
+        return it->second;
+    return pattern.word(patternRow, word_idx);
+}
+
+bool
+RowReadout::bit(Col col) const
+{
+    const std::uint64_t w = storedWord(col / 64);
+    const bool stored = ((w >> (col % 64)) & 1) != 0;
+    const bool is_flipped =
+        std::binary_search(flips.begin(), flips.end(), col);
+    return stored ^ is_flipped;
+}
+
+std::uint64_t
+RowReadout::word(int word_idx) const
+{
+    std::uint64_t w = storedWord(word_idx);
+    // Apply flips within this word.
+    const Col lo = static_cast<Col>(word_idx) * 64;
+    auto it = std::lower_bound(flips.begin(), flips.end(), lo);
+    for (; it != flips.end() && *it < lo + 64; ++it)
+        w ^= 1ULL << (*it - lo);
+    return w;
+}
+
+std::vector<Col>
+RowReadout::flipsVs(const DataPattern &expected, Row expected_row) const
+{
+    // Fast path: the expectation is exactly what was last written, so
+    // the committed flips are the answer (modulo word overrides).
+    if (overrides.empty() && expected == pattern &&
+        expected_row == patternRow) {
+        return flips;
+    }
+
+    std::vector<Col> result;
+    for (int w = 0; w < words(); ++w) {
+        const std::uint64_t diff =
+            word(w) ^ expected.word(expected_row, w);
+        if (diff == 0)
+            continue;
+        for (int b = 0; b < 64; ++b) {
+            if ((diff >> b) & 1)
+                result.push_back(static_cast<Col>(w) * 64 + b);
+        }
+    }
+    return result;
+}
+
+int
+RowReadout::countFlipsVs(const DataPattern &expected,
+                         Row expected_row) const
+{
+    if (overrides.empty() && expected == pattern &&
+        expected_row == patternRow) {
+        return static_cast<int>(flips.size());
+    }
+    return static_cast<int>(flipsVs(expected, expected_row).size());
+}
+
+RowState::RowState(RowPhysics physics, Time now, Rng vrt_rng, int row_bits,
+                   Time vrt_dwell, double vrt_high_factor)
+    : phys(std::move(physics)), lastRestore(now), vrtRng(vrt_rng),
+      lastVrtCheck(now), vrtDwell(vrt_dwell),
+      vrtHighFactor(vrt_high_factor), bits(row_bits)
+{
+}
+
+bool
+RowState::storedBit(Col col) const
+{
+    const auto it = overrides.find(col / 64);
+    if (it != overrides.end())
+        return ((it->second >> (col % 64)) & 1) != 0;
+    return pattern.bit(patRow, col);
+}
+
+Time
+RowState::effectiveRetention(const WeakCell &cell, Time now)
+{
+    if (!cell.vrt)
+        return cell.retention;
+
+    // Symmetric random-telegraph process: probability the state differs
+    // after dt is (1 - exp(-2 dt / dwell)) / 2.
+    const Time dt = now - lastVrtCheck;
+    if (dt > 0 && vrtDwell > 0) {
+        const double p_switch =
+            0.5 * (1.0 -
+                   std::exp(-2.0 * static_cast<double>(dt) /
+                            static_cast<double>(vrtDwell)));
+        if (vrtRng.chance(p_switch))
+            vrtHigh = !vrtHigh;
+        lastVrtCheck = now;
+    }
+    if (!vrtHigh)
+        return cell.retention;
+    return static_cast<Time>(
+        static_cast<double>(cell.retention) * vrtHighFactor);
+}
+
+void
+RowState::commitDueFlips(Time now)
+{
+    const Time elapsed = now - lastRestore;
+
+    // Retention failures: a charged cell decays once elapsed exceeds its
+    // (VRT-adjusted) retention time.
+    for (const WeakCell &cell : phys.weakCells) {
+        if (elapsed <= effectiveRetention(cell, now))
+            continue;
+        if (storedBit(cell.col) != cell.chargedValue)
+            continue; // already in the discharged state
+        flipped.insert(cell.col);
+    }
+
+    // RowHammer failures: cells whose threshold has been crossed by the
+    // accumulated disturbance charge flip. hammerCells is sorted by
+    // threshold, so we stop at the first cell that survives.
+    for (const HammerCell &cell : phys.hammerCells) {
+        if (cell.threshold > charge)
+            break;
+        if (storedBit(cell.col) != cell.chargedValue)
+            continue;
+        flipped.insert(cell.col);
+    }
+}
+
+void
+RowState::restoreCharge(Time now)
+{
+    commitDueFlips(now);
+    lastRestore = now;
+    charge = 0.0;
+    lastAggressor = kInvalidRow;
+}
+
+void
+RowState::addDisturbance(Row aggressor_phys, double added)
+{
+    charge += added;
+    lastAggressor = aggressor_phys;
+}
+
+void
+RowState::writePattern(const DataPattern &new_pattern, Row pattern_row,
+                       Time now)
+{
+    pattern = new_pattern;
+    patRow = pattern_row;
+    overrides.clear();
+    flipped.clear();
+    lastRestore = now;
+}
+
+void
+RowState::writeWord(int word_idx, std::uint64_t value)
+{
+    overrides[word_idx] = value;
+    // Writing a word recharges exactly its cells: drop flips within it.
+    const Col lo = static_cast<Col>(word_idx) * 64;
+    auto it = flipped.lower_bound(lo);
+    while (it != flipped.end() && *it < lo + 64)
+        it = flipped.erase(it);
+}
+
+RowReadout
+RowState::read() const
+{
+    std::vector<Col> flips(flipped.begin(), flipped.end());
+    return RowReadout(pattern, patRow, overrides, std::move(flips), bits);
+}
+
+std::uint64_t
+RowState::storedWord0() const
+{
+    const auto it = overrides.find(0);
+    if (it != overrides.end())
+        return it->second;
+    return pattern.word(patRow, 0);
+}
+
+void
+RowState::setHammerCells(std::vector<HammerCell> cells)
+{
+    phys.hammerCells = std::move(cells);
+}
+
+} // namespace utrr

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Per-row DRAM state: stored data, committed bit flips, charge bookkeeping.
+ *
+ * A row's contents are represented sparsely: a whole-row DataPattern (what
+ * was last written), optional per-word overrides, and the set of columns
+ * whose cells have lost their charge ("committed flips"). Charge
+ * bookkeeping follows real DRAM behaviour:
+ *
+ *  - ACT / REF restores the charge of all cells of the row, but a cell
+ *    that has *already* decayed past its retention time (or flipped due
+ *    to hammering) is sensed wrong and the wrong value is restored — the
+ *    flip is committed until the row is rewritten;
+ *  - between restores, retention flips become due once
+ *    `now - lastRefresh` exceeds a cell's (VRT-state-dependent) retention
+ *    time, and hammer flips become due once accumulated disturbance
+ *    charge exceeds a cell's threshold.
+ */
+
+#ifndef UTRR_DRAM_ROW_HH
+#define UTRR_DRAM_ROW_HH
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "dram/data_pattern.hh"
+#include "dram/physics.hh"
+
+namespace utrr
+{
+
+/**
+ * Snapshot of a row's contents as seen by a READ burst.
+ */
+class RowReadout
+{
+  public:
+    /** Empty readout (zero-sized row); useful as a placeholder. */
+    RowReadout() = default;
+
+    RowReadout(DataPattern pattern, Row pattern_row,
+               std::unordered_map<int, std::uint64_t> overrides,
+               std::vector<Col> flips, int row_bits);
+
+    /** Value of bit @p col. */
+    bool bit(Col col) const;
+
+    /** 64-bit word @p word_idx. */
+    std::uint64_t word(int word_idx) const;
+
+    /** Number of 64-bit words in the row. */
+    int words() const { return bits / 64; }
+
+    /**
+     * Columns whose value differs from @p expected (evaluated at row
+     * address @p expected_row). Fast path when the expectation matches
+     * what was last written.
+     */
+    std::vector<Col> flipsVs(const DataPattern &expected,
+                             Row expected_row) const;
+
+    /** Convenience: number of differing bits vs @p expected. */
+    int countFlipsVs(const DataPattern &expected, Row expected_row) const;
+
+    /** Columns currently flipped relative to the last written data. */
+    const std::vector<Col> &rawFlips() const { return flips; }
+
+  private:
+    std::uint64_t storedWord(int word_idx) const;
+
+    DataPattern pattern{};
+    Row patternRow = 0;
+    std::unordered_map<int, std::uint64_t> overrides;
+    std::vector<Col> flips;
+    int bits = 0;
+};
+
+/**
+ * Mutable state of one physical DRAM row.
+ */
+class RowState
+{
+  public:
+    /**
+     * @param physics immutable retention physics of the row
+     * @param now creation time; the row counts as freshly refreshed
+     * @param vrt_rng per-row RNG stream driving VRT state switches
+     * @param row_bits bits per row
+     * @param vrt_dwell mean dwell time (ns) per VRT state
+     * @param vrt_high_factor retention multiplier in the VRT high state
+     */
+    RowState(RowPhysics physics, Time now, Rng vrt_rng, int row_bits,
+             Time vrt_dwell, double vrt_high_factor);
+
+    /** Restore charge (ACT or REF): commit due flips, reset charge. */
+    void restoreCharge(Time now);
+
+    /** Record disturbance from an aggressor ACT. */
+    void addDisturbance(Row aggressor_phys, double charge);
+
+    /** Overwrite the whole row with a pattern (WR burst sequence). */
+    void writePattern(const DataPattern &pattern, Row pattern_row,
+                      Time now);
+
+    /** Overwrite one 64-bit word. */
+    void writeWord(int word_idx, std::uint64_t value);
+
+    /** Read the row's current contents. Only valid right after ACT. */
+    RowReadout read() const;
+
+    /** The pattern last written (defaults to all-zeros). */
+    const DataPattern &storedPattern() const { return pattern; }
+
+    /** Row address the pattern was evaluated at. */
+    Row patternRow() const { return patRow; }
+
+    /** First stored word; used for cheap aggressor-data coupling. */
+    std::uint64_t storedWord0() const;
+
+    /** Accumulated, uncommitted disturbance charge (units). */
+    double hammerCharge() const { return charge; }
+
+    /** Physical row of the last aggressor that disturbed this row. */
+    Row lastDisturber() const { return lastAggressor; }
+
+    /** Time of last charge restore. */
+    Time lastRefresh() const { return lastRestore; }
+
+    /** Lazily attach hammer cells (generated on first disturbance). */
+    bool hasHammerCells() const { return !phys.hammerCells.empty(); }
+    void setHammerCells(std::vector<HammerCell> cells);
+
+    /** The row's physics (read-only). */
+    const RowPhysics &physics() const { return phys; }
+
+    /** Number of committed flips. */
+    std::size_t committedFlipCount() const { return flipped.size(); }
+
+  private:
+    bool storedBit(Col col) const;
+    Time effectiveRetention(const WeakCell &cell, Time now);
+    void commitDueFlips(Time now);
+
+    RowPhysics phys;
+    DataPattern pattern = DataPattern::allZeros();
+    Row patRow = 0;
+    std::unordered_map<int, std::uint64_t> overrides;
+    std::set<Col> flipped;
+    Time lastRestore;
+    double charge = 0.0;
+    Row lastAggressor = kInvalidRow;
+    Rng vrtRng;
+    bool vrtHigh = false;
+    Time lastVrtCheck;
+    Time vrtDwell;
+    double vrtHighFactor;
+    int bits;
+};
+
+} // namespace utrr
+
+#endif // UTRR_DRAM_ROW_HH

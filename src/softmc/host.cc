@@ -1,0 +1,252 @@
+#include "softmc/host.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace utrr
+{
+
+SoftMcHost::SoftMcHost(DramModule &module, Timing timing)
+    : dram(module), timingParams(timing)
+{
+}
+
+void
+SoftMcHost::applyMitigation(Bank bank, Row row)
+{
+    const MitigationAction action =
+        mitigation->onActivate(bank, row, clock);
+    clock += action.delayNs;
+    // Victim refreshes are real ACT+PRE cycles issued while the bank
+    // is still precharged (before the triggering activation opens it).
+    const Row rows = dram.spec().rowsPerBank;
+    for (Row victim : action.refreshRows) {
+        if (victim < 0 || victim >= rows)
+            continue;
+        dram.act(bank, victim, clock);
+        dram.pre(bank, clock);
+        clock += timingParams.hammerCycle();
+        ++acts;
+    }
+}
+
+void
+SoftMcHost::act(Bank bank, Row row)
+{
+    if (mitigation != nullptr)
+        applyMitigation(bank, row);
+    dram.act(bank, row, clock);
+    clock += timingParams.tRAS;
+    ++acts;
+}
+
+void
+SoftMcHost::pre(Bank bank)
+{
+    dram.pre(bank, clock);
+    clock += timingParams.tRP;
+}
+
+void
+SoftMcHost::wr(Bank bank, const DataPattern &pattern)
+{
+    dram.wr(bank, pattern, clock);
+    clock += timingParams.tBURST;
+}
+
+void
+SoftMcHost::wrWord(Bank bank, int word_idx, std::uint64_t value)
+{
+    dram.wrWord(bank, word_idx, value);
+    clock += timingParams.tBURST;
+}
+
+RowReadout
+SoftMcHost::rd(Bank bank)
+{
+    RowReadout readout = dram.rd(bank);
+    clock += timingParams.tBURST;
+    return readout;
+}
+
+void
+SoftMcHost::ref()
+{
+    if (mitigation != nullptr)
+        mitigation->onRefresh(clock);
+    dram.ref(clock);
+    clock += timingParams.tRFC;
+    ++refCmds;
+}
+
+void
+SoftMcHost::refBurst(int count)
+{
+    for (int i = 0; i < count; ++i)
+        ref();
+}
+
+void
+SoftMcHost::refAtDefaultRate(int count)
+{
+    for (int i = 0; i < count; ++i) {
+        ref();
+        clock += timingParams.tREFI - timingParams.tRFC;
+    }
+}
+
+void
+SoftMcHost::wait(Time ns)
+{
+    UTRR_ASSERT(ns >= 0, "cannot wait negative time");
+    clock += ns;
+}
+
+void
+SoftMcHost::waitWithRefresh(Time ns)
+{
+    const Time deadline = clock + ns;
+    while (clock + timingParams.tREFI <= deadline) {
+        clock += timingParams.tREFI - timingParams.tRFC;
+        ref();
+    }
+    clock = std::max(clock, deadline);
+}
+
+void
+SoftMcHost::writeRow(Bank bank, Row row, const DataPattern &pattern)
+{
+    act(bank, row);
+    wr(bank, pattern);
+    pre(bank);
+}
+
+RowReadout
+SoftMcHost::readRow(Bank bank, Row row)
+{
+    act(bank, row);
+    RowReadout readout = rd(bank);
+    pre(bank);
+    return readout;
+}
+
+void
+SoftMcHost::hammer(Bank bank, Row row, int count)
+{
+    for (int i = 0; i < count; ++i) {
+        act(bank, row);
+        pre(bank);
+    }
+}
+
+void
+SoftMcHost::hammerInterleaved(
+    const std::vector<std::pair<Bank, Row>> &rows,
+    const std::vector<int> &counts)
+{
+    UTRR_ASSERT(rows.size() == counts.size(),
+                "one count per aggressor row");
+    bool remaining = true;
+    std::vector<int> left(counts);
+    while (remaining) {
+        remaining = false;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            if (left[i] <= 0)
+                continue;
+            act(rows[i].first, rows[i].second);
+            pre(rows[i].first);
+            if (--left[i] > 0)
+                remaining = true;
+        }
+    }
+}
+
+void
+SoftMcHost::hammerCascaded(const std::vector<std::pair<Bank, Row>> &rows,
+                           const std::vector<int> &counts)
+{
+    UTRR_ASSERT(rows.size() == counts.size(),
+                "one count per aggressor row");
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        hammer(rows[i].first, rows[i].second, counts[i]);
+}
+
+void
+SoftMcHost::hammerMultiBank(
+    const std::vector<std::pair<Bank, Row>> &rows, int count_each)
+{
+    // Banks hammer in parallel; throughput is limited by both the
+    // per-bank cycle time and the four-activation window.
+    const auto banks = static_cast<std::int64_t>(rows.size());
+    if (banks == 0 || count_each <= 0)
+        return;
+
+    const Time start = clock;
+    Time penalty = 0;
+    for (int i = 0; i < count_each; ++i) {
+        for (const auto &[bank, row] : rows) {
+            if (mitigation != nullptr) {
+                const Time before = clock;
+                applyMitigation(bank, row);
+                penalty += clock - before;
+                clock = before;
+            }
+            dram.act(bank, row, clock);
+            dram.pre(bank, clock);
+            ++acts;
+        }
+    }
+    const Time per_bank_bound =
+        static_cast<Time>(count_each) * timingParams.hammerCycle();
+    const Time tfaw_bound = static_cast<Time>(count_each) * banks *
+        timingParams.tFAW / 4;
+    clock = start + std::max(per_bank_bound, tfaw_bound) + penalty;
+}
+
+ExecResult
+SoftMcHost::execute(const Program &program)
+{
+    ExecResult result;
+    result.startTime = clock;
+    for (const Instr &instr : program.instructions()) {
+        switch (instr.op) {
+          case Op::kAct:
+            act(instr.bank, instr.row);
+            break;
+          case Op::kPre:
+            pre(instr.bank);
+            break;
+          case Op::kWr:
+            wr(instr.bank, instr.pattern);
+            break;
+          case Op::kWrWord:
+            wrWord(instr.bank, instr.wordIdx, instr.value);
+            break;
+          case Op::kRd: {
+            ReadRecord record;
+            record.bank = instr.bank;
+            record.row = dram.toLogical(
+                instr.bank,
+                dram.bankAt(instr.bank).openRow());
+            record.when = clock;
+            record.readout = rd(instr.bank);
+            result.reads.push_back(std::move(record));
+            break;
+          }
+          case Op::kRef:
+            ref();
+            break;
+          case Op::kWait:
+            wait(instr.waitNs);
+            break;
+          case Op::kWaitRef:
+            waitWithRefresh(instr.waitNs);
+            break;
+        }
+    }
+    result.endTime = clock;
+    return result;
+}
+
+} // namespace utrr

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * SoftMC-like host: precise command-level control over a DRAM module.
+ *
+ * The host offers two equivalent interfaces:
+ *  - an immediate API (writeRow, readRow, hammer, refBurst, wait, ...)
+ *    used by Row Scout and the TRR Analyzer, and
+ *  - a Program executor for recorded command sequences (attack
+ *    patterns).
+ *
+ * Both advance a simulated nanosecond clock per DDR4 timing, mirroring
+ * how a real SoftMC program occupies the command bus.
+ */
+
+#ifndef UTRR_SOFTMC_HOST_HH
+#define UTRR_SOFTMC_HOST_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/module.hh"
+#include "dram/timing.hh"
+#include "mitigation/mitigation.hh"
+#include "softmc/command.hh"
+
+namespace utrr
+{
+
+/** One captured READ result. */
+struct ReadRecord
+{
+    Bank bank = 0;
+    Row row = kInvalidRow;
+    Time when = 0;
+    RowReadout readout;
+};
+
+/** Result of executing a Program. */
+struct ExecResult
+{
+    std::vector<ReadRecord> reads;
+    Time startTime = 0;
+    Time endTime = 0;
+};
+
+/**
+ * The SoftMC host.
+ */
+class SoftMcHost
+{
+  public:
+    SoftMcHost(DramModule &module, Timing timing = {});
+
+    /** Current simulated time. */
+    Time now() const { return clock; }
+
+    const Timing &timing() const { return timingParams; }
+    DramModule &module() { return dram; }
+
+    // --- immediate command API ---------------------------------------
+
+    void act(Bank bank, Row row);
+    void pre(Bank bank);
+    void wr(Bank bank, const DataPattern &pattern);
+    void wrWord(Bank bank, int word_idx, std::uint64_t value);
+    RowReadout rd(Bank bank);
+    void ref();
+
+    /** Issue @p count REF commands back to back (tRFC apart). */
+    void refBurst(int count);
+
+    /** Issue @p count REFs at the default rate (one per tREFI). */
+    void refAtDefaultRate(int count);
+
+    /** Advance time with the command bus idle (refresh paused). */
+    void wait(Time ns);
+
+    /** Advance time while refreshing at the default rate. */
+    void waitWithRefresh(Time ns);
+
+    // --- composites ----------------------------------------------------
+
+    /** ACT + WR + PRE. */
+    void writeRow(Bank bank, Row row, const DataPattern &pattern);
+
+    /** ACT + RD + PRE. */
+    RowReadout readRow(Bank bank, Row row);
+
+    /** `count` ACT+PRE cycles on one row. */
+    void hammer(Bank bank, Row row, int count);
+
+    /**
+     * Interleaved hammering (§5.2): activate each aggressor once per
+     * round until every aggressor reaches its count.
+     */
+    void hammerInterleaved(
+        const std::vector<std::pair<Bank, Row>> &rows,
+        const std::vector<int> &counts);
+
+    /**
+     * Cascaded hammering (§5.2): hammer each aggressor to completion
+     * before moving to the next.
+     */
+    void hammerCascaded(const std::vector<std::pair<Bank, Row>> &rows,
+                        const std::vector<int> &counts);
+
+    /**
+     * Hammer one row in each of several banks simultaneously; bank-level
+     * parallelism is bounded by tFAW (footnote 12 of the paper).
+     * Advances time by the tFAW-constrained duration.
+     */
+    void hammerMultiBank(const std::vector<std::pair<Bank, Row>> &rows,
+                         int count_each);
+
+    // --- program execution ---------------------------------------------
+
+    /** Execute a recorded program, capturing reads. */
+    ExecResult execute(const Program &program);
+
+    /** Total ACT commands issued through this host. */
+    std::uint64_t actCount() const { return acts; }
+
+    /** Total REF commands issued through this host. */
+    std::uint64_t refCommandCount() const { return refCmds; }
+
+    /**
+     * Attach a controller-side RowHammer mitigation (not owned). The
+     * policy sees every ACT/REF this host issues; neighbour refreshes
+     * it orders are performed as real ACT+PRE cycles (costing command
+     * bus time) before the triggering activation, and throttling
+     * delays stall the clock.
+     */
+    void attachMitigation(ControllerMitigation *policy)
+    {
+        mitigation = policy;
+    }
+
+    ControllerMitigation *attachedMitigation() { return mitigation; }
+
+  private:
+    void applyMitigation(Bank bank, Row row);
+
+    DramModule &dram;
+    Timing timingParams;
+    Time clock = 0;
+    std::uint64_t acts = 0;
+    std::uint64_t refCmds = 0;
+    ControllerMitigation *mitigation = nullptr;
+};
+
+} // namespace utrr
+
+#endif // UTRR_SOFTMC_HOST_HH

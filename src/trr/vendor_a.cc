@@ -1,0 +1,105 @@
+#include "trr/vendor_a.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace utrr
+{
+
+VendorATrr::VendorATrr(int banks, Params params) : params(params)
+{
+    UTRR_ASSERT(banks > 0, "need at least one bank");
+    UTRR_ASSERT(params.tableEntries > 0, "table needs entries");
+    bankState.resize(static_cast<std::size_t>(banks));
+}
+
+void
+VendorATrr::onActivate(Bank bank, Row phys_row)
+{
+    auto &state = bankState.at(static_cast<std::size_t>(bank));
+    auto &table = state.table;
+
+    for (Entry &entry : table) {
+        if (entry.row == phys_row) {
+            ++entry.count;
+            return;
+        }
+    }
+
+    if (table.size() <
+        static_cast<std::size_t>(params.tableEntries)) {
+        table.push_back({phys_row, 1});
+        return;
+    }
+
+    // Table full: evict the entry with the smallest counter (Obs. A5).
+    auto victim = std::min_element(
+        table.begin(), table.end(),
+        [](const Entry &a, const Entry &b) { return a.count < b.count; });
+    *victim = {phys_row, 1};
+}
+
+std::vector<TrrRefreshAction>
+VendorATrr::onRefresh()
+{
+    ++refCount;
+    if (refCount % static_cast<std::uint64_t>(params.trrRefPeriod) != 0)
+        return {};
+
+    const bool tref_b = nextIsTrefB;
+    nextIsTrefB = !nextIsTrefB;
+
+    std::vector<TrrRefreshAction> actions;
+    for (Bank bank = 0;
+         bank < static_cast<Bank>(bankState.size()); ++bank) {
+        auto &state = bankState[static_cast<std::size_t>(bank)];
+        auto &table = state.table;
+        if (table.empty())
+            continue;
+
+        if (tref_b) {
+            // TREF_b: traverse the table one entry per instance.
+            Entry &entry = table[state.trefBPtr % table.size()];
+            state.trefBPtr = (state.trefBPtr + 1) % table.size();
+            actions.push_back({bank, entry.row});
+            entry.count = 0; // Obs. A6
+        } else {
+            // TREF_a: detect the highest counter since last detection.
+            auto hottest = std::max_element(
+                table.begin(), table.end(),
+                [](const Entry &a, const Entry &b) {
+                    return a.count < b.count;
+                });
+            if (hottest->count == 0)
+                continue; // nothing accumulated since the last reset
+            actions.push_back({bank, hottest->row});
+            hottest->count = 0; // Obs. A6
+        }
+    }
+    return actions;
+}
+
+void
+VendorATrr::reset()
+{
+    for (auto &state : bankState) {
+        state.table.clear();
+        state.trefBPtr = 0;
+    }
+    refCount = 0;
+    nextIsTrefB = false;
+}
+
+std::vector<std::pair<Row, std::uint64_t>>
+VendorATrr::tableOf(Bank bank) const
+{
+    std::vector<std::pair<Row, std::uint64_t>> rows;
+    for (const Entry &entry :
+         bankState.at(static_cast<std::size_t>(bank)).table) {
+        rows.emplace_back(entry.row, entry.count);
+    }
+    return rows;
+}
+
+} // namespace utrr

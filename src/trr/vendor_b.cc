@@ -1,0 +1,73 @@
+#include "trr/vendor_b.hh"
+
+#include "common/logging.hh"
+
+namespace utrr
+{
+
+VendorBTrr::VendorBTrr(int banks, Params params, std::uint64_t seed)
+    : params(params), banks(banks), rng(seed), seed(seed)
+{
+    UTRR_ASSERT(banks > 0, "need at least one bank");
+    bankSamples.resize(static_cast<std::size_t>(banks));
+}
+
+void
+VendorBTrr::onActivate(Bank bank, Row phys_row)
+{
+    // Pseudo-random ACT sampling: the hardware likely uses an LFSR; we
+    // use a seeded deterministic PRNG, which is observationally
+    // equivalent to the paper's description.
+    if (!rng.chance(params.sampleProbability))
+        return;
+    if (params.perBank) {
+        bankSamples.at(static_cast<std::size_t>(bank)) = phys_row;
+    } else {
+        sample = TrrRefreshAction{bank, phys_row};
+    }
+}
+
+std::vector<TrrRefreshAction>
+VendorBTrr::onRefresh()
+{
+    ++refCount;
+    if (refCount % static_cast<std::uint64_t>(params.trrRefPeriod) != 0)
+        return {};
+
+    std::vector<TrrRefreshAction> actions;
+    if (params.perBank) {
+        for (Bank bank = 0; bank < banks; ++bank) {
+            const auto &s =
+                bankSamples[static_cast<std::size_t>(bank)];
+            if (s)
+                actions.push_back({bank, *s}); // sample kept (Obs. B5)
+        }
+    } else if (sample) {
+        actions.push_back(*sample); // sample kept (Obs. B5)
+    }
+    return actions;
+}
+
+void
+VendorBTrr::reset()
+{
+    refCount = 0;
+    sample.reset();
+    for (auto &s : bankSamples)
+        s.reset();
+    rng = Rng(seed);
+}
+
+std::optional<TrrRefreshAction>
+VendorBTrr::currentSample() const
+{
+    return sample;
+}
+
+std::optional<Row>
+VendorBTrr::currentSampleOf(Bank bank) const
+{
+    return bankSamples.at(static_cast<std::size_t>(bank));
+}
+
+} // namespace utrr

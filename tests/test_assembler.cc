@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "dram/module.hh"
+#include "softmc/assembler.hh"
+#include "softmc/host.hh"
+
+namespace utrr
+{
+namespace
+{
+
+TEST(Assembler, BasicInstructions)
+{
+    const AssembleResult result = assembleProgram(
+        "ACT 0 100\n"
+        "PRE 0\n"
+        "REF 3\n"
+        "WAIT 5us\n");
+    ASSERT_TRUE(result.ok()) << result.error;
+    const auto &instrs = result.program.instructions();
+    ASSERT_EQ(instrs.size(), 6u); // ACT PRE REF REF REF WAIT
+    EXPECT_EQ(instrs[0].op, Op::kAct);
+    EXPECT_EQ(instrs[0].bank, 0);
+    EXPECT_EQ(instrs[0].row, 100);
+    EXPECT_EQ(instrs[5].op, Op::kWait);
+    EXPECT_EQ(instrs[5].waitNs, 5'000);
+}
+
+TEST(Assembler, CompositesExpand)
+{
+    const AssembleResult result = assembleProgram(
+        "WRITE 1 50 ones\n"
+        "READ 1 50\n"
+        "HAMMER 1 60 4\n");
+    ASSERT_TRUE(result.ok()) << result.error;
+    // 3 + 3 + 8 instructions.
+    EXPECT_EQ(result.program.size(), 14u);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const AssembleResult result = assembleProgram(
+        "# a comment\n"
+        "\n"
+        "REF   # trailing comment\n");
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.program.size(), 1u);
+}
+
+TEST(Assembler, TimeUnits)
+{
+    const AssembleResult result = assembleProgram(
+        "WAIT 100ns\nWAIT 2us\nWAIT 3ms\nWAITREF 1ms\n");
+    ASSERT_TRUE(result.ok()) << result.error;
+    const auto &instrs = result.program.instructions();
+    EXPECT_EQ(instrs[0].waitNs, 100);
+    EXPECT_EQ(instrs[1].waitNs, 2'000);
+    EXPECT_EQ(instrs[2].waitNs, 3'000'000);
+    EXPECT_EQ(instrs[3].op, Op::kWaitRef);
+}
+
+TEST(Assembler, PatternTokens)
+{
+    EXPECT_TRUE(parsePatternToken("ones").has_value());
+    EXPECT_TRUE(parsePatternToken("zeros").has_value());
+    EXPECT_TRUE(parsePatternToken("checker").has_value());
+    EXPECT_TRUE(parsePatternToken("stripe").has_value());
+    ASSERT_TRUE(parsePatternToken("random:42").has_value());
+    EXPECT_TRUE(*parsePatternToken("random:42") ==
+                DataPattern::random(42));
+    EXPECT_FALSE(parsePatternToken("nonsense").has_value());
+    EXPECT_FALSE(parsePatternToken("random:x").has_value());
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    const AssembleResult result =
+        assembleProgram("REF\nACT 0\nREF\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("line 2"), std::string::npos);
+}
+
+TEST(Assembler, UnknownInstruction)
+{
+    const AssembleResult result = assembleProgram("FOO 1 2\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("unknown instruction"),
+              std::string::npos);
+}
+
+TEST(Assembler, BadOperandsRejected)
+{
+    EXPECT_FALSE(assembleProgram("ACT 0 abc\n").ok());
+    EXPECT_FALSE(assembleProgram("WR 0 rainbow\n").ok());
+    EXPECT_FALSE(assembleProgram("WAIT soon\n").ok());
+    EXPECT_FALSE(assembleProgram("REF 0\n").ok());
+    EXPECT_FALSE(assembleProgram("HAMMER 0 1\n").ok());
+}
+
+TEST(Assembler, RoundTripThroughDisassembler)
+{
+    const std::string text =
+        "ACT 0 7\n"
+        "WR 0 all-ones\n"
+        "PRE 0\n"
+        "REF\n"
+        "WAIT 1000ns\n";
+    const AssembleResult first = assembleProgram(text);
+    ASSERT_TRUE(first.ok());
+    const std::string disassembled =
+        disassembleProgram(first.program);
+    const AssembleResult second = assembleProgram(disassembled);
+    ASSERT_TRUE(second.ok()) << second.error;
+    ASSERT_EQ(second.program.size(), first.program.size());
+    for (std::size_t i = 0; i < first.program.size(); ++i) {
+        EXPECT_EQ(second.program.instructions()[i].op,
+                  first.program.instructions()[i].op);
+    }
+}
+
+TEST(Assembler, AssembledProgramExecutes)
+{
+    ModuleSpec spec = *findModuleSpec("A5");
+    spec.trr = TrrVersion::kNone;
+    spec.rowsPerBank = 4'096;
+    spec.banks = 1;
+    spec.scramble = RowScramble::kSequential;
+    spec.remapsPerBank = 0;
+    DramModule module(spec, 5);
+    SoftMcHost host(module);
+
+    const AssembleResult result = assembleProgram(
+        "WRITE 0 10 checker\n"
+        "REF 2\n"
+        "READ 0 10\n");
+    ASSERT_TRUE(result.ok()) << result.error;
+    const ExecResult exec = host.execute(result.program);
+    ASSERT_EQ(exec.reads.size(), 1u);
+    EXPECT_EQ(exec.reads[0].row, 10);
+    EXPECT_EQ(exec.reads[0].readout.countFlipsVs(
+                  DataPattern::checkerboard(), 10),
+              0);
+}
+
+} // namespace
+} // namespace utrr

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "dram/data_pattern.hh"
+
+namespace utrr
+{
+namespace
+{
+
+TEST(DataPattern, AllOnesAndZeros)
+{
+    const DataPattern ones = DataPattern::allOnes();
+    const DataPattern zeros = DataPattern::allZeros();
+    EXPECT_TRUE(ones.bit(0, 0));
+    EXPECT_TRUE(ones.bit(100, 65'535));
+    EXPECT_EQ(ones.word(5, 7), ~0ULL);
+    EXPECT_FALSE(zeros.bit(0, 0));
+    EXPECT_EQ(zeros.word(5, 7), 0ULL);
+}
+
+TEST(DataPattern, CheckerboardAlternatesByRow)
+{
+    const DataPattern checker = DataPattern::checkerboard();
+    EXPECT_NE(checker.word(0, 0), checker.word(1, 0));
+    EXPECT_EQ(checker.word(0, 0), checker.word(2, 0));
+}
+
+TEST(DataPattern, RandomIsSeedDependent)
+{
+    const DataPattern a = DataPattern::random(1);
+    const DataPattern b = DataPattern::random(2);
+    EXPECT_NE(a.word(0, 0), b.word(0, 0));
+    EXPECT_EQ(a.word(0, 0), DataPattern::random(1).word(0, 0));
+}
+
+TEST(DataPattern, EqualityIgnoresSeedForNonRandom)
+{
+    EXPECT_TRUE(DataPattern::allOnes() == DataPattern::allOnes());
+    EXPECT_FALSE(DataPattern::allOnes() == DataPattern::allZeros());
+    EXPECT_TRUE(DataPattern::random(3) == DataPattern::random(3));
+    EXPECT_FALSE(DataPattern::random(3) == DataPattern::random(4));
+}
+
+TEST(DataPattern, NamesAreDistinct)
+{
+    EXPECT_EQ(DataPattern::allOnes().name(), "all-ones");
+    EXPECT_EQ(DataPattern::colStripe().name(), "col-stripe");
+}
+
+/** Property: bit() must agree with word() for every pattern kind. */
+class PatternConsistency
+    : public ::testing::TestWithParam<DataPattern::Kind>
+{
+};
+
+TEST_P(PatternConsistency, BitMatchesWord)
+{
+    const DataPattern pattern(GetParam(), 99);
+    for (Row row : {0, 1, 7, 4'000}) {
+        for (int word_idx : {0, 1, 63}) {
+            const std::uint64_t w = pattern.word(row, word_idx);
+            for (int b = 0; b < 64; ++b) {
+                const Col col = static_cast<Col>(word_idx) * 64 + b;
+                ASSERT_EQ(pattern.bit(row, col),
+                          ((w >> b) & 1) != 0)
+                    << pattern.name() << " row " << row << " col "
+                    << col;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, PatternConsistency,
+    ::testing::Values(DataPattern::Kind::kAllOnes,
+                      DataPattern::Kind::kAllZeros,
+                      DataPattern::Kind::kCheckerboard,
+                      DataPattern::Kind::kInvCheckerboard,
+                      DataPattern::Kind::kColStripe,
+                      DataPattern::Kind::kRandom));
+
+} // namespace
+} // namespace utrr

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/chipkill.hh"
+#include "ecc/ecc_analysis.hh"
+
+namespace utrr
+{
+namespace
+{
+
+TEST(Chipkill, CleanRoundTrip)
+{
+    const Chipkill codec;
+    const std::uint64_t data = 0x0123456789abcdefULL;
+    const auto codeword = codec.encode(data);
+    EXPECT_EQ(codec.symbols(), 11);
+    EXPECT_EQ(Chipkill::dataOf(codeword), data);
+    EXPECT_EQ(codec.decode(codeword).status,
+              RsDecodeResult::Status::kClean);
+}
+
+TEST(Chipkill, WholeChipFailureCorrected)
+{
+    // Any error confined to one chip (one symbol) is corrected, even
+    // all 8 bits of it.
+    const Chipkill codec;
+    const std::uint64_t data = 0xa5a5a5a5a5a5a5a5ULL;
+    const auto codeword = codec.encode(data);
+    for (int chip = 0; chip < 8; ++chip) {
+        auto received = codeword;
+        received[static_cast<std::size_t>(chip)] ^= 0xff;
+        const auto result = codec.decode(received);
+        ASSERT_EQ(result.status, RsDecodeResult::Status::kCorrected);
+        EXPECT_EQ(Chipkill::dataOf(result.codeword), data);
+    }
+}
+
+TEST(Chipkill, TwoChipErrorsDetected)
+{
+    const Chipkill codec;
+    const auto codeword = codec.encode(0x1122334455667788ULL);
+    Rng rng(3);
+    for (int trial = 0; trial < 200; ++trial) {
+        auto received = codeword;
+        const int c1 = static_cast<int>(rng.uniformInt(0, 7));
+        int c2 = c1;
+        while (c2 == c1)
+            c2 = static_cast<int>(rng.uniformInt(0, 7));
+        received[static_cast<std::size_t>(c1)] ^=
+            static_cast<Gf256::Elem>(rng.uniformInt(1, 255));
+        received[static_cast<std::size_t>(c2)] ^=
+            static_cast<Gf256::Elem>(rng.uniformInt(1, 255));
+        ASSERT_EQ(codec.decode(received).status,
+                  RsDecodeResult::Status::kDetected);
+    }
+}
+
+TEST(Chipkill, ThreeChipErrorsExceedTheGuarantee)
+{
+    // §7.4: flips in >= 3 arbitrary chips exceed the guarantee: the
+    // decoder can never recover the original data.
+    const Chipkill codec;
+    const std::uint64_t data = 0;
+    const auto codeword = codec.encode(data);
+    Rng rng(4);
+    for (int trial = 0; trial < 200; ++trial) {
+        auto received = codeword;
+        for (int chip : {0, 3, 6}) {
+            received[static_cast<std::size_t>(chip)] ^=
+                static_cast<Gf256::Elem>(rng.uniformInt(1, 255));
+        }
+        const auto result = codec.decode(received);
+        if (result.status == RsDecodeResult::Status::kCorrected)
+            EXPECT_NE(Chipkill::dataOf(result.codeword), data);
+        else
+            EXPECT_EQ(result.status, RsDecodeResult::Status::kDetected);
+    }
+}
+
+TEST(Chipkill, MiscorrectionIsPossibleBeyondTheGuarantee)
+{
+    // Deterministic silent corruption: a received word at symbol
+    // distance 1 from a *different* codeword decodes to that codeword,
+    // silently replacing the stored data.
+    const Chipkill codec;
+    const std::uint64_t stored = 0x1111111111111111ULL;
+    const std::uint64_t other = 0x2222222222222222ULL;
+    auto received = codec.encode(other);
+    received[4] ^= 0x5a; // one symbol error relative to `other`
+    const auto result = codec.decode(received);
+    ASSERT_EQ(result.status, RsDecodeResult::Status::kCorrected);
+    EXPECT_EQ(Chipkill::dataOf(result.codeword), other);
+    EXPECT_NE(Chipkill::dataOf(result.codeword), stored);
+}
+
+TEST(EccAnalysis, SingleBitCorrectedEverywhere)
+{
+    EXPECT_EQ(evaluateSecded({17}), EccOutcome::kCorrected);
+    EXPECT_EQ(evaluateChipkill({17}), EccOutcome::kCorrected);
+    EXPECT_EQ(evaluateReedSolomon({17}, 7), EccOutcome::kCorrected);
+}
+
+TEST(EccAnalysis, NoFlipsIsClean)
+{
+    EXPECT_EQ(evaluateSecded({}), EccOutcome::kClean);
+    EXPECT_EQ(evaluateChipkill({}), EccOutcome::kClean);
+}
+
+TEST(EccAnalysis, DoubleBitHandling)
+{
+    // SECDED detects any double-bit error.
+    EXPECT_EQ(evaluateSecded({3, 40}), EccOutcome::kDetected);
+    // Two flips in the same chip: chipkill corrects them.
+    EXPECT_EQ(evaluateChipkill({0, 5}), EccOutcome::kCorrected);
+    // Two flips in different chips: chipkill detects them.
+    EXPECT_EQ(evaluateChipkill({0, 60}), EccOutcome::kDetected);
+}
+
+TEST(EccAnalysis, SevenFlipsDefeatSecdedAndChipkill)
+{
+    // The paper's worst case: 7 flips in one 8-byte word.
+    const std::vector<int> flips = {1, 11, 21, 31, 41, 51, 61};
+    const EccOutcome secded = evaluateSecded(flips);
+    EXPECT_TRUE(secded == EccOutcome::kMiscorrected ||
+                secded == EccOutcome::kDetected ||
+                secded == EccOutcome::kUndetected);
+    EXPECT_NE(secded, EccOutcome::kCorrected);
+
+    const EccOutcome ck = evaluateChipkill(flips);
+    EXPECT_NE(ck, EccOutcome::kCorrected);
+
+    // A Reed-Solomon code with 14 parity symbols (t = 7) handles it.
+    EXPECT_EQ(evaluateReedSolomon(flips, 14), EccOutcome::kCorrected);
+}
+
+TEST(EccAnalysis, TallyArithmetic)
+{
+    EccTally tally;
+    tally.add(EccOutcome::kCorrected);
+    tally.add(EccOutcome::kCorrected);
+    tally.add(EccOutcome::kMiscorrected);
+    tally.add(EccOutcome::kUndetected);
+    EXPECT_EQ(tally.of(EccOutcome::kCorrected), 2u);
+    EXPECT_EQ(tally.total(), 4u);
+    EXPECT_EQ(tally.silentCorruption(), 2u);
+}
+
+TEST(EccAnalysis, StudyHistogram)
+{
+    Histogram hist;
+    hist.add(1, 100); // 100 words with 1 flip
+    hist.add(3, 50);  // 50 words with 3 flips
+    const EccStudy study = studyWordFlipHistogram(hist, {4, 14});
+    EXPECT_EQ(study.secded.total(), 150u);
+    // All single-flip words corrected by SECDED.
+    EXPECT_GE(study.secded.of(EccOutcome::kCorrected), 100u);
+    // Triple-flip words cause silent corruption in some cases.
+    EXPECT_GT(study.secded.silentCorruption(), 0u);
+    // RS with 14 parity symbols corrects everything up to 7 flips.
+    EXPECT_EQ(study.reedSolomon.at(14).of(EccOutcome::kCorrected),
+              150u);
+}
+
+TEST(EccAnalysis, OutcomeNames)
+{
+    EXPECT_EQ(eccOutcomeName(EccOutcome::kMiscorrected),
+              "miscorrected");
+    EXPECT_EQ(eccOutcomeName(EccOutcome::kClean), "clean");
+}
+
+} // namespace
+} // namespace utrr

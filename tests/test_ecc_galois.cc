@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "ecc/galois.hh"
+
+namespace utrr
+{
+namespace
+{
+
+TEST(Gf256, AdditionIsXor)
+{
+    EXPECT_EQ(Gf256::add(0x53, 0xCA), 0x53 ^ 0xCA);
+    EXPECT_EQ(Gf256::add(7, 7), 0);
+}
+
+TEST(Gf256, MultiplicationBasics)
+{
+    EXPECT_EQ(Gf256::mul(0, 123), 0);
+    EXPECT_EQ(Gf256::mul(123, 0), 0);
+    EXPECT_EQ(Gf256::mul(1, 123), 123);
+    // alpha * alpha = alpha^2 = 4 for alpha = 2.
+    EXPECT_EQ(Gf256::mul(2, 2), 4);
+}
+
+TEST(Gf256, KnownProduct)
+{
+    // 0x53 * 0xCA = 0x01 in GF(256) with poly 0x11D... verify via
+    // inverse instead: mul(a, inv(a)) == 1 for all nonzero a.
+    for (int a = 1; a < 256; ++a) {
+        const auto elem = static_cast<Gf256::Elem>(a);
+        EXPECT_EQ(Gf256::mul(elem, Gf256::inv(elem)), 1) << a;
+    }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication)
+{
+    for (int a = 1; a < 256; a += 7) {
+        for (int b = 1; b < 256; b += 11) {
+            const auto ea = static_cast<Gf256::Elem>(a);
+            const auto eb = static_cast<Gf256::Elem>(b);
+            EXPECT_EQ(Gf256::div(Gf256::mul(ea, eb), eb), ea);
+        }
+    }
+}
+
+TEST(Gf256, ExpLogRoundTrip)
+{
+    for (int a = 1; a < 256; ++a) {
+        const auto elem = static_cast<Gf256::Elem>(a);
+        EXPECT_EQ(Gf256::expAlpha(Gf256::logAlpha(elem)), elem);
+    }
+}
+
+TEST(Gf256, ExpAlphaPeriodic)
+{
+    EXPECT_EQ(Gf256::expAlpha(0), 1);
+    EXPECT_EQ(Gf256::expAlpha(255), 1);
+    EXPECT_EQ(Gf256::expAlpha(-1), Gf256::expAlpha(254));
+    EXPECT_EQ(Gf256::expAlpha(256), Gf256::expAlpha(1));
+}
+
+TEST(Gf256, PowMatchesRepeatedMul)
+{
+    Gf256::Elem x = 1;
+    for (int n = 0; n < 20; ++n) {
+        EXPECT_EQ(Gf256::pow(3, n), x);
+        x = Gf256::mul(x, 3);
+    }
+    EXPECT_EQ(Gf256::pow(0, 5), 0);
+    EXPECT_EQ(Gf256::pow(0, 0), 1);
+}
+
+/** Field axioms sampled across the field. */
+class GfAxioms : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GfAxioms, DistributivityAndAssociativity)
+{
+    const auto a = static_cast<Gf256::Elem>(GetParam() * 37 % 256);
+    const auto b = static_cast<Gf256::Elem>(GetParam() * 101 % 256);
+    const auto c = static_cast<Gf256::Elem>(GetParam() * 181 % 256);
+    EXPECT_EQ(Gf256::mul(a, Gf256::add(b, c)),
+              Gf256::add(Gf256::mul(a, b), Gf256::mul(a, c)));
+    EXPECT_EQ(Gf256::mul(a, Gf256::mul(b, c)),
+              Gf256::mul(Gf256::mul(a, b), c));
+    EXPECT_EQ(Gf256::mul(a, b), Gf256::mul(b, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Samples, GfAxioms, ::testing::Range(1, 40));
+
+} // namespace
+} // namespace utrr

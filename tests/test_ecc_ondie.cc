@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "ecc/ecc_analysis.hh"
+#include "ecc/secded.hh"
+
+namespace utrr
+{
+namespace
+{
+
+TEST(OnDieSec, CleanRoundTrip)
+{
+    const auto word = OnDieSec::encode(0x0123456789abcdefULL);
+    EXPECT_EQ(word.check & 0x80, 0); // no overall parity bit
+    const auto result = OnDieSec::decode(word);
+    EXPECT_EQ(result.status, OnDieSec::Status::kClean);
+    EXPECT_EQ(result.codeword.data, 0x0123456789abcdefULL);
+}
+
+/** Property: every single data-bit error is corrected. */
+class OnDieSingleError : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OnDieSingleError, Corrected)
+{
+    const std::uint64_t data = 0x5a5a1234beefcafeULL;
+    const auto original = OnDieSec::encode(data);
+    const auto corrupted = Secded::flipBit(original, GetParam());
+    const auto result = OnDieSec::decode(corrupted);
+    EXPECT_EQ(result.status, OnDieSec::Status::kCorrected);
+    EXPECT_EQ(result.codeword.data, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(DataBits, OnDieSingleError,
+                         ::testing::Range(0, 64));
+
+TEST(OnDieSec, DoubleErrorsNeverDetectedReliably)
+{
+    // Without the overall parity bit, a double error aliases to a
+    // single-bit syndrome most of the time and the decoder happily
+    // "corrects" to wrong data — silent corruption.
+    const std::uint64_t data = 0;
+    const auto original = OnDieSec::encode(data);
+    int silent = 0;
+    int total = 0;
+    for (int i = 0; i < 64; i += 3) {
+        for (int j = i + 1; j < 64; j += 5) {
+            const auto corrupted =
+                Secded::flipBit(Secded::flipBit(original, i), j);
+            const auto result = OnDieSec::decode(corrupted);
+            ++total;
+            if (result.status == OnDieSec::Status::kCorrected &&
+                result.codeword.data != data) {
+                ++silent;
+            }
+        }
+    }
+    EXPECT_GT(total, 100);
+    // The overwhelming majority of double errors silently corrupt.
+    EXPECT_GT(silent, total * 3 / 5);
+}
+
+TEST(OnDieSec, WeakerThanSecdedOnDoubles)
+{
+    // The same double-bit pattern: SECDED detects, on-die SEC corrupts
+    // or mis-handles.
+    EXPECT_EQ(evaluateSecded({3, 40}), EccOutcome::kDetected);
+    const EccOutcome on_die = evaluateOnDieSec({3, 40});
+    EXPECT_NE(on_die, EccOutcome::kCorrected);
+    EXPECT_NE(on_die, EccOutcome::kClean);
+}
+
+TEST(OnDieSec, AnalysisOutcomes)
+{
+    EXPECT_EQ(evaluateOnDieSec({}), EccOutcome::kClean);
+    EXPECT_EQ(evaluateOnDieSec({17}), EccOutcome::kCorrected);
+}
+
+TEST(OnDieSec, StudyIncludesOnDieTally)
+{
+    Histogram hist;
+    hist.add(1, 50);
+    hist.add(2, 50);
+    const EccStudy study = studyWordFlipHistogram(hist, {});
+    EXPECT_EQ(study.onDieSec.total(), 100u);
+    EXPECT_EQ(study.onDieSec.of(EccOutcome::kCorrected), 50u);
+    // Double-flip words: SECDED detects them all, on-die SEC corrupts
+    // most of them silently.
+    EXPECT_EQ(study.secded.of(EccOutcome::kDetected), 50u);
+    EXPECT_GT(study.onDieSec.silentCorruption(), 25u);
+}
+
+} // namespace
+} // namespace utrr

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/reed_solomon.hh"
+
+namespace utrr
+{
+namespace
+{
+
+using Elem = Gf256::Elem;
+
+std::vector<Elem>
+randomData(Rng &rng, int k)
+{
+    std::vector<Elem> data;
+    for (int i = 0; i < k; ++i)
+        data.push_back(static_cast<Elem>(rng.uniformInt(0, 255)));
+    return data;
+}
+
+TEST(ReedSolomon, CleanRoundTrip)
+{
+    const ReedSolomon rs(15, 9);
+    Rng rng(1);
+    const auto data = randomData(rng, 9);
+    const auto codeword = rs.encode(data);
+    ASSERT_EQ(codeword.size(), 15u);
+    // Systematic: data symbols come first.
+    for (int i = 0; i < 9; ++i)
+        EXPECT_EQ(codeword[static_cast<std::size_t>(i)],
+                  data[static_cast<std::size_t>(i)]);
+    const auto result = rs.decode(codeword);
+    EXPECT_EQ(result.status, RsDecodeResult::Status::kClean);
+}
+
+/** Property: up to t random symbol errors are always corrected. */
+class RsCorrection : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RsCorrection, CorrectsUpToT)
+{
+    const ReedSolomon rs(20, 12); // t = 4
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const auto data = randomData(rng, 12);
+    const auto codeword = rs.encode(data);
+
+    for (int errors = 1; errors <= rs.t(); ++errors) {
+        auto received = codeword;
+        std::vector<int> positions;
+        while (static_cast<int>(positions.size()) < errors) {
+            const int pos = static_cast<int>(rng.uniformInt(0, 19));
+            if (std::find(positions.begin(), positions.end(), pos) ==
+                positions.end())
+                positions.push_back(pos);
+        }
+        for (int pos : positions) {
+            received[static_cast<std::size_t>(pos)] ^=
+                static_cast<Elem>(rng.uniformInt(1, 255));
+        }
+        const auto result = rs.decode(received);
+        ASSERT_EQ(result.status, RsDecodeResult::Status::kCorrected)
+            << errors << " errors";
+        EXPECT_EQ(result.codeword, codeword);
+        EXPECT_EQ(result.symbolsCorrected, errors);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RsCorrection, ::testing::Range(1, 30));
+
+TEST(ReedSolomon, BeyondTIsDetectedOrWrong)
+{
+    // t+1 errors: bounded-distance decoding either detects the error
+    // or (rarely) lands on a wrong codeword; it must never return the
+    // original claiming success with wrong data.
+    const ReedSolomon rs(12, 8); // t = 2
+    Rng rng(99);
+    const auto data = randomData(rng, 8);
+    const auto codeword = rs.encode(data);
+    int detected = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        auto received = codeword;
+        std::vector<int> positions;
+        while (static_cast<int>(positions.size()) < 3) {
+            const int pos = static_cast<int>(rng.uniformInt(0, 11));
+            if (std::find(positions.begin(), positions.end(), pos) ==
+                positions.end())
+                positions.push_back(pos);
+        }
+        for (int pos : positions) {
+            received[static_cast<std::size_t>(pos)] ^=
+                static_cast<Elem>(rng.uniformInt(1, 255));
+        }
+        const auto result = rs.decode(received);
+        if (result.status == RsDecodeResult::Status::kDetected)
+            ++detected;
+        else if (result.status == RsDecodeResult::Status::kCorrected)
+            EXPECT_NE(result.codeword, codeword); // miscorrection
+    }
+    EXPECT_GT(detected, 150); // most 3-error patterns are detected
+}
+
+TEST(ReedSolomon, RestrictedTDetectsBetweenTAndDistance)
+{
+    // RS(11,8) decoded with t=1: two symbol errors must always be
+    // detected (d = 4), never miscorrected. This is the Chipkill
+    // guarantee.
+    const ReedSolomon rs(11, 8, 1);
+    Rng rng(7);
+    const auto data = randomData(rng, 8);
+    const auto codeword = rs.encode(data);
+    for (int trial = 0; trial < 300; ++trial) {
+        auto received = codeword;
+        const int p1 = static_cast<int>(rng.uniformInt(0, 10));
+        int p2 = p1;
+        while (p2 == p1)
+            p2 = static_cast<int>(rng.uniformInt(0, 10));
+        received[static_cast<std::size_t>(p1)] ^=
+            static_cast<Elem>(rng.uniformInt(1, 255));
+        received[static_cast<std::size_t>(p2)] ^=
+            static_cast<Elem>(rng.uniformInt(1, 255));
+        const auto result = rs.decode(received);
+        ASSERT_EQ(result.status, RsDecodeResult::Status::kDetected);
+    }
+}
+
+TEST(ReedSolomon, ZeroDataEncodesToZero)
+{
+    const ReedSolomon rs(10, 6);
+    const std::vector<Elem> zeros(6, 0);
+    const auto codeword = rs.encode(zeros);
+    for (Elem symbol : codeword)
+        EXPECT_EQ(symbol, 0);
+}
+
+TEST(ReedSolomon, ParameterValidation)
+{
+    EXPECT_DEATH(ReedSolomon(8, 8), "bad RS parameters");
+    EXPECT_DEATH(ReedSolomon(10, 8, 3), "t exceeds");
+}
+
+} // namespace
+} // namespace utrr

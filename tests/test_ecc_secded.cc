@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "ecc/secded.hh"
+
+namespace utrr
+{
+namespace
+{
+
+TEST(Secded, CleanDecode)
+{
+    const auto word = Secded::encode(0x0123456789abcdefULL);
+    const auto result = Secded::decode(word);
+    EXPECT_EQ(result.status, Secded::Status::kClean);
+    EXPECT_EQ(result.codeword.data, 0x0123456789abcdefULL);
+}
+
+TEST(Secded, EncodeDeterministic)
+{
+    EXPECT_EQ(Secded::encode(42).check, Secded::encode(42).check);
+    EXPECT_NE(Secded::encode(42).check, Secded::encode(43).check);
+}
+
+/** Property: every single-bit error (data or check) is corrected. */
+class SecdedSingleError : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SecdedSingleError, Corrected)
+{
+    const std::uint64_t data = 0xdeadbeefcafef00dULL;
+    const auto original = Secded::encode(data);
+    const auto corrupted = Secded::flipBit(original, GetParam());
+    const auto result = Secded::decode(corrupted);
+    EXPECT_EQ(result.status, Secded::Status::kCorrected);
+    EXPECT_EQ(result.codeword.data, data);
+    EXPECT_EQ(result.codeword.check, original.check);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, SecdedSingleError,
+                         ::testing::Range(0, 72));
+
+TEST(Secded, AllDoubleErrorsDetected)
+{
+    const std::uint64_t data = 0x5555aaaa12345678ULL;
+    const auto original = Secded::encode(data);
+    for (int i = 0; i < 72; ++i) {
+        for (int j = i + 1; j < 72; j += 3) { // sampled pairs
+            const auto corrupted =
+                Secded::flipBit(Secded::flipBit(original, i), j);
+            const auto result = Secded::decode(corrupted);
+            ASSERT_EQ(result.status, Secded::Status::kDetected)
+                << "bits " << i << "," << j;
+        }
+    }
+}
+
+TEST(Secded, TripleErrorsEscapeTheGuarantee)
+{
+    // >= 3 flips alias into correction/clean classes: the §7.4 failure
+    // mode. At least some triples must NOT be reported as detected.
+    const std::uint64_t data = 0;
+    const auto original = Secded::encode(data);
+    int silent = 0;
+    int total = 0;
+    for (int i = 0; i < 60; i += 5) {
+        for (int j = i + 1; j < 64; j += 7) {
+            for (int k = j + 1; k < 64; k += 11) {
+                const auto corrupted = Secded::flipBit(
+                    Secded::flipBit(Secded::flipBit(original, i), j), k);
+                const auto result = Secded::decode(corrupted);
+                ++total;
+                if (result.status == Secded::Status::kCorrected &&
+                    result.codeword.data != data) {
+                    ++silent; // miscorrection
+                }
+            }
+        }
+    }
+    EXPECT_GT(total, 50);
+    EXPECT_GT(silent, total / 4);
+}
+
+TEST(Secded, FlipBitIsInvolution)
+{
+    const auto word = Secded::encode(0x123);
+    for (int bit : {0, 31, 63, 64, 71}) {
+        const auto twice =
+            Secded::flipBit(Secded::flipBit(word, bit), bit);
+        EXPECT_EQ(twice, word);
+    }
+}
+
+} // namespace
+} // namespace utrr

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "attack/sweep.hh"
+#include "core/mapping_reveng.hh"
+#include "core/reveng.hh"
+#include "dram/module.hh"
+#include "ecc/ecc_analysis.hh"
+#include "softmc/host.hh"
+
+namespace utrr
+{
+namespace
+{
+
+/**
+ * Full U-TRR pipeline on one module per vendor: discover the mapping
+ * black-box, reverse-engineer the TRR parameters, build the custom
+ * pattern from the *discovered* profile, and verify it defeats the TRR
+ * while the double-sided baseline does not. This closes the paper's
+ * methodology loop end to end.
+ */
+void
+runPipeline(const std::string &module_name, int expected_period,
+            DetectionType expected_detection)
+{
+    const ModuleSpec spec = *findModuleSpec(module_name);
+    DramModule module(spec, 77);
+    SoftMcHost host(module);
+
+    // 1. Mapping reverse engineering (§5.3), fully black-box.
+    MappingReveng::Config map_cfg;
+    map_cfg.probes = 6;
+    MappingReveng mapper(host, map_cfg);
+    const DiscoveredMapping mapping = mapper.discover();
+    EXPECT_EQ(mapping.scheme(), spec.scramble) << module_name;
+
+    // 2. TRR reverse engineering (§6).
+    TrrRevengConfig reveng_cfg;
+    reveng_cfg.scoutRowEnd = 6 * 1024;
+    reveng_cfg.consistencyChecks = 30;
+    TrrReveng reveng(host, mapping, reveng_cfg);
+    TrrProfile profile;
+    profile.trrToRefPeriod = reveng.discoverTrrRefPeriod();
+    profile.detection = reveng.discoverDetectionType();
+    EXPECT_EQ(profile.trrToRefPeriod, expected_period) << module_name;
+    EXPECT_EQ(profile.detection, expected_detection) << module_name;
+
+    // 3. Craft the custom pattern from the discovered profile (§7.1).
+    const CustomPatternParams params =
+        customParamsFromProfile(spec.vendor, profile, spec.paired());
+    SweepConfig sweep_cfg;
+    sweep_cfg.positions = 4;
+    const SweepResult custom =
+        sweepCustomPattern(host, mapping, params, sweep_cfg);
+    EXPECT_GE(custom.vulnerableRows, 2) << module_name;
+
+    // 4. The state-of-the-art baseline stays blocked (§7, footnote 18).
+    const SweepResult baseline = sweepBaseline(
+        host, mapping, BaselineKind::kDoubleSided, sweep_cfg);
+    EXPECT_EQ(baseline.vulnerableRows, 0) << module_name;
+}
+
+TEST(Pipeline, VendorA)
+{
+    runPipeline("A5", 9, DetectionType::kCounterBased);
+}
+
+TEST(Pipeline, VendorB)
+{
+    runPipeline("B8", 4, DetectionType::kSamplingBased);
+}
+
+TEST(Pipeline, VendorC)
+{
+    runPipeline("C9", 9, DetectionType::kWindowBased);
+}
+
+TEST(Pipeline, EccBypassEndToEnd)
+{
+    // §7.4 in miniature: collect real flip patterns from the attack
+    // and push them through the ECC codecs.
+    const ModuleSpec spec = *findModuleSpec("B13");
+    DramModule module(spec, 78);
+    SoftMcHost host(module);
+    DiscoveredMapping mapping(spec.scramble, spec.rowsPerBank);
+
+    SweepConfig cfg;
+    cfg.positions = 8;
+    const SweepResult sweep = sweepCustomPattern(
+        host, mapping, defaultCustomParams(spec), cfg);
+    ASSERT_GT(sweep.wordFlips.total(), 0u);
+
+    const EccStudy study =
+        studyWordFlipHistogram(sweep.wordFlips, {14});
+    // Single-flip words dominate and are corrected...
+    EXPECT_GT(study.secded.of(EccOutcome::kCorrected), 0u);
+    // ...but multi-flip words exist and defeat SECDED's guarantee.
+    EXPECT_GT(study.secded.of(EccOutcome::kDetected) +
+                  study.secded.silentCorruption(),
+              0u);
+    // An RS code with 14 parity symbols corrects everything the
+    // pattern produced (flips per word <= 7 in this sweep).
+    if (sweep.wordFlips.maxValue() <= 7) {
+        EXPECT_EQ(study.reedSolomon.at(14).silentCorruption(), 0u);
+        EXPECT_EQ(study.reedSolomon.at(14).of(EccOutcome::kDetected),
+                  0u);
+    }
+}
+
+TEST(Pipeline, HammeringModeTradeoff)
+{
+    // §5.2: interleaved hammering flips more bits than cascaded for
+    // the same hammer budget. Two identically seeded modules give the
+    // same victim the same cell physics, isolating the mode effect.
+    ModuleSpec spec = *findModuleSpec("A5");
+    spec.trr = TrrVersion::kNone;
+    spec.rowsPerBank = 8 * 1024;
+    spec.remapsPerBank = 0;
+
+    auto flips_with_mode = [&](bool interleaved) {
+        DramModule module(spec, 79);
+        SoftMcHost host(module);
+        const Row victim = 2'000;
+        host.writeRow(0, victim, DataPattern::allOnes());
+        host.writeRow(0, victim - 1, DataPattern::allZeros());
+        host.writeRow(0, victim + 1, DataPattern::allZeros());
+        const std::vector<std::pair<Bank, Row>> rows = {
+            {0, victim - 1}, {0, victim + 1}};
+        const std::vector<int> counts = {60'000, 60'000};
+        if (interleaved)
+            host.hammerInterleaved(rows, counts);
+        else
+            host.hammerCascaded(rows, counts);
+        return host.readRow(0, victim).countFlipsVs(
+            DataPattern::allOnes(), victim);
+    };
+    const int interleaved = flips_with_mode(true);
+    const int cascaded = flips_with_mode(false);
+    EXPECT_GT(interleaved, cascaded);
+    EXPECT_GT(interleaved, 0);
+}
+
+} // namespace
+} // namespace utrr

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/mapping.hh"
+
+namespace utrr
+{
+namespace
+{
+
+TEST(Scramble, SequentialIsIdentity)
+{
+    for (Row r = 0; r < 64; ++r)
+        EXPECT_EQ(applyScramble(RowScramble::kSequential, r), r);
+}
+
+TEST(Scramble, SwapHalfPairsLayout)
+{
+    // 0,1,2,3 -> 0,1,3,2
+    EXPECT_EQ(applyScramble(RowScramble::kSwapHalfPairs, 0), 0);
+    EXPECT_EQ(applyScramble(RowScramble::kSwapHalfPairs, 1), 1);
+    EXPECT_EQ(applyScramble(RowScramble::kSwapHalfPairs, 2), 3);
+    EXPECT_EQ(applyScramble(RowScramble::kSwapHalfPairs, 3), 2);
+    EXPECT_EQ(applyScramble(RowScramble::kSwapHalfPairs, 6), 7);
+}
+
+TEST(Scramble, BitSwap01Layout)
+{
+    EXPECT_EQ(applyScramble(RowScramble::kBitSwap01, 0), 0);
+    EXPECT_EQ(applyScramble(RowScramble::kBitSwap01, 1), 2);
+    EXPECT_EQ(applyScramble(RowScramble::kBitSwap01, 2), 1);
+    EXPECT_EQ(applyScramble(RowScramble::kBitSwap01, 3), 3);
+    EXPECT_EQ(applyScramble(RowScramble::kBitSwap01, 5), 6);
+}
+
+class ScrambleProperty : public ::testing::TestWithParam<RowScramble>
+{
+};
+
+TEST_P(ScrambleProperty, IsAnInvolution)
+{
+    for (Row r = 0; r < 1'024; ++r)
+        EXPECT_EQ(applyScramble(GetParam(),
+                                applyScramble(GetParam(), r)),
+                  r);
+}
+
+TEST_P(ScrambleProperty, IsABijectionOverBlocks)
+{
+    std::set<Row> seen;
+    for (Row r = 0; r < 1'024; ++r)
+        seen.insert(applyScramble(GetParam(), r));
+    EXPECT_EQ(seen.size(), 1'024u);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 1'023);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ScrambleProperty,
+                         ::testing::Values(RowScramble::kSequential,
+                                           RowScramble::kSwapHalfPairs,
+                                           RowScramble::kBitSwap01));
+
+TEST(RowMapping, NoRemapsRoundTrips)
+{
+    RowMapping mapping(RowScramble::kSwapHalfPairs, 1'024, 0, Rng(1));
+    for (Row r = 0; r < 1'024; ++r)
+        EXPECT_EQ(mapping.toLogical(mapping.toPhysical(r)), r);
+}
+
+TEST(RowMapping, RemappedRowsLandInSpares)
+{
+    RowMapping mapping(RowScramble::kSequential, 1'024, 5, Rng(2));
+    EXPECT_EQ(mapping.remapCount(), 5);
+    int in_spares = 0;
+    for (Row r = 0; r < 1'024; ++r) {
+        const Row phys = mapping.toPhysical(r);
+        if (mapping.isRemapped(r)) {
+            EXPECT_GE(phys, 1'024);
+            ++in_spares;
+        } else {
+            EXPECT_LT(phys, 1'024);
+        }
+        EXPECT_EQ(mapping.toLogical(phys), r);
+    }
+    EXPECT_EQ(in_spares, 5);
+}
+
+TEST(RowMapping, VacatedPhysicalSlotsHaveNoLogicalRow)
+{
+    RowMapping mapping(RowScramble::kSequential, 1'024, 3, Rng(3));
+    int vacated = 0;
+    for (Row p = 0; p < 1'024; ++p) {
+        if (mapping.toLogical(p) == kInvalidRow)
+            ++vacated;
+    }
+    EXPECT_EQ(vacated, 3);
+}
+
+TEST(RowMapping, UnusedSparesHaveNoLogicalRow)
+{
+    RowMapping mapping(RowScramble::kSequential, 1'024, 2, Rng(4), 64);
+    EXPECT_EQ(mapping.physicalRows(), 1'024 + 64);
+    int mapped_spares = 0;
+    for (Row p = 1'024; p < mapping.physicalRows(); ++p) {
+        if (mapping.toLogical(p) != kInvalidRow)
+            ++mapped_spares;
+    }
+    EXPECT_EQ(mapped_spares, 2);
+}
+
+TEST(RowMapping, MappingIsBijectiveWithRemaps)
+{
+    RowMapping mapping(RowScramble::kBitSwap01, 2'048, 8, Rng(5));
+    std::set<Row> phys;
+    for (Row r = 0; r < 2'048; ++r)
+        phys.insert(mapping.toPhysical(r));
+    EXPECT_EQ(phys.size(), 2'048u);
+}
+
+TEST(RowMapping, ScrambleNames)
+{
+    EXPECT_EQ(scrambleName(RowScramble::kSequential), "sequential");
+    EXPECT_EQ(scrambleName(RowScramble::kSwapHalfPairs),
+              "swap-half-pairs");
+    EXPECT_EQ(scrambleName(RowScramble::kBitSwap01), "bit-swap-01");
+}
+
+} // namespace
+} // namespace utrr

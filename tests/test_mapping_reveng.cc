@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/mapping_reveng.hh"
+#include "dram/module.hh"
+
+namespace utrr
+{
+namespace
+{
+
+ModuleSpec
+smallSpec(RowScramble scramble, int remaps = 0)
+{
+    ModuleSpec spec = *findModuleSpec("A5");
+    spec.trr = TrrVersion::kNone;
+    spec.rowsPerBank = 4 * 1024;
+    spec.banks = 1;
+    spec.remapsPerBank = remaps;
+    spec.scramble = scramble;
+    spec.hcFirst = 5'000; // keep probe hammering fast
+    return spec;
+}
+
+MappingReveng::Config
+quickConfig()
+{
+    MappingReveng::Config cfg;
+    cfg.probes = 8;
+    cfg.probeStart = 32;
+    cfg.probeStride = 409;
+    cfg.hammersStart = 64 * 1024;
+    cfg.hammersMax = 2 * 1024 * 1024;
+    return cfg;
+}
+
+class SchemeDiscovery : public ::testing::TestWithParam<RowScramble>
+{
+};
+
+TEST_P(SchemeDiscovery, RecoversTheDecoderScramble)
+{
+    DramModule module(smallSpec(GetParam()), 31);
+    SoftMcHost host(module);
+    MappingReveng reveng(host, quickConfig());
+    const DiscoveredMapping mapping = reveng.discover();
+    EXPECT_EQ(mapping.scheme(), GetParam());
+    EXPECT_TRUE(mapping.anomalies().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeDiscovery,
+                         ::testing::Values(RowScramble::kSequential,
+                                           RowScramble::kSwapHalfPairs,
+                                           RowScramble::kBitSwap01));
+
+TEST(MappingReveng, ProbeFindsPhysicalNeighbours)
+{
+    DramModule module(smallSpec(RowScramble::kSwapHalfPairs), 32);
+    SoftMcHost host(module);
+    MappingReveng reveng(host, quickConfig());
+
+    // Probe logical row 102 (phys 103 under swap-half-pairs): its
+    // physical neighbours 102 and 104 are logical 103 and 104
+    // (phys 104 has bit 1 clear, so it maps to itself).
+    const auto result = reveng.probe(102);
+    ASSERT_FALSE(result.flippedNeighbours.empty());
+    for (Row neighbour : {103, 104}) {
+        EXPECT_NE(std::find(result.flippedNeighbours.begin(),
+                            result.flippedNeighbours.end(), neighbour),
+                  result.flippedNeighbours.end())
+            << "missing neighbour " << neighbour;
+    }
+}
+
+TEST(MappingReveng, RemappedProbeFlagsAnomaly)
+{
+    DramModule module(smallSpec(RowScramble::kSequential, 16), 33);
+    SoftMcHost host(module);
+
+    // Find a remapped logical row; hammering it disturbs only spare
+    // rows, so the probe sees no flips in the logical neighbourhood.
+    Row remapped = kInvalidRow;
+    for (Row r = 8; r < module.spec().rowsPerBank - 8; ++r) {
+        if (module.mapping(0).isRemapped(r)) {
+            remapped = r;
+            break;
+        }
+    }
+    ASSERT_NE(remapped, kInvalidRow);
+
+    MappingReveng reveng(host, quickConfig());
+    const auto result = reveng.probe(remapped);
+    EXPECT_TRUE(result.flippedNeighbours.empty());
+    EXPECT_EQ(result.hammersUsed, 0);
+}
+
+TEST(MappingReveng, EscalationReportsHammersUsed)
+{
+    DramModule module(smallSpec(RowScramble::kSequential), 34);
+    SoftMcHost host(module);
+    MappingReveng reveng(host, quickConfig());
+    const auto result = reveng.probe(500);
+    ASSERT_FALSE(result.flippedNeighbours.empty());
+    EXPECT_GE(result.hammersUsed, quickConfig().hammersStart);
+}
+
+TEST(DiscoveredMappingApi, IdentityAndAnomalies)
+{
+    DiscoveredMapping identity = DiscoveredMapping::identity(128);
+    EXPECT_EQ(identity.toPhysical(7), 7);
+    EXPECT_EQ(identity.toLogical(7), 7);
+    EXPECT_FALSE(identity.isAnomalous(7));
+
+    DiscoveredMapping withAnomaly(RowScramble::kSwapHalfPairs, 128,
+                                  {42});
+    EXPECT_TRUE(withAnomaly.isAnomalous(42));
+    EXPECT_EQ(withAnomaly.toPhysical(2), 3);
+    EXPECT_EQ(withAnomaly.toLogical(3), 2);
+}
+
+} // namespace
+} // namespace utrr

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "attack/sweep.hh"
+#include "dram/module.hh"
+#include "mitigation/blockhammer.hh"
+#include "mitigation/graphene.hh"
+#include "mitigation/para.hh"
+#include "softmc/host.hh"
+
+namespace utrr
+{
+namespace
+{
+
+TEST(Para, RefreshRateMatchesProbability)
+{
+    Para::Params params;
+    params.probability = 0.01;
+    Para para(params, 1);
+    int triggered = 0;
+    for (int i = 0; i < 50'000; ++i) {
+        if (!para.onActivate(0, 100, 0).refreshRows.empty())
+            ++triggered;
+    }
+    EXPECT_NEAR(triggered / 50'000.0, 0.01, 0.002);
+    EXPECT_EQ(para.refreshesOrdered(),
+              static_cast<std::uint64_t>(2 * triggered));
+}
+
+TEST(Para, BlastRadiusTwoRefreshesFourRows)
+{
+    Para::Params params;
+    params.probability = 1.0;
+    params.blastRadius = 2;
+    Para para(params, 2);
+    const MitigationAction action = para.onActivate(0, 100, 0);
+    EXPECT_EQ(action.refreshRows,
+              (std::vector<Row>{99, 101, 98, 102}));
+}
+
+TEST(Para, ResetRestoresDeterminism)
+{
+    Para::Params params;
+    params.probability = 0.25;
+    Para para(params, 3);
+    std::vector<bool> first;
+    for (int i = 0; i < 100; ++i)
+        first.push_back(!para.onActivate(0, 1, 0).refreshRows.empty());
+    para.reset();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(!para.onActivate(0, 1, 0).refreshRows.empty(),
+                  first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Graphene, ThresholdTriggersNeighbourRefresh)
+{
+    Graphene::Params params;
+    params.threshold = 100;
+    Graphene graphene(1, params);
+    int refreshes = 0;
+    for (int i = 0; i < 250; ++i) {
+        if (!graphene.onActivate(0, 500, 0).refreshRows.empty())
+            ++refreshes;
+    }
+    // 250 ACTs with threshold 100: triggered at 100 and 200.
+    EXPECT_EQ(refreshes, 2);
+}
+
+TEST(Graphene, MisraGriesGuarantee)
+{
+    // No row can be hammered far beyond threshold + W/N without a
+    // refresh, regardless of how many decoy rows the attacker mixes in.
+    Graphene::Params params;
+    params.tableEntries = 16;
+    params.threshold = 500;
+    Graphene graphene(1, params);
+
+    int aggressor_refreshes = 0;
+    int total_acts = 0;
+    for (int round = 0; round < 2'000; ++round) {
+        // Attacker: hammer the aggressor a few times, then lots of
+        // decoys (the anti-vendor-A pattern).
+        for (int i = 0; i < 24; ++i) {
+            ++total_acts;
+            if (!graphene.onActivate(0, 777, 0).refreshRows.empty())
+                ++aggressor_refreshes;
+        }
+        for (Row decoy = 0; decoy < 16; ++decoy) {
+            for (int i = 0; i < 6; ++i) {
+                ++total_acts;
+                graphene.onActivate(0, 10'000 + decoy * 200, 0);
+            }
+        }
+    }
+    // 48K aggressor ACTs; bound: every threshold + W/N ACTs at worst.
+    const int bound = params.threshold + total_acts / params.tableEntries;
+    EXPECT_GE(aggressor_refreshes, 2'000 * 24 / bound);
+}
+
+TEST(Graphene, WindowResetClearsCounts)
+{
+    Graphene::Params params;
+    params.threshold = 1'000;
+    params.windowRefs = 4;
+    Graphene graphene(1, params);
+    for (int i = 0; i < 500; ++i)
+        graphene.onActivate(0, 9, 0);
+    EXPECT_EQ(graphene.countOf(0, 9), 500);
+    for (int ref = 0; ref < 4; ++ref)
+        graphene.onRefresh(0);
+    EXPECT_EQ(graphene.countOf(0, 9), 0);
+}
+
+TEST(Graphene, PerBankTables)
+{
+    Graphene::Params params;
+    Graphene graphene(2, params);
+    for (int i = 0; i < 10; ++i)
+        graphene.onActivate(0, 9, 0);
+    EXPECT_EQ(graphene.countOf(0, 9), 10);
+    EXPECT_EQ(graphene.countOf(1, 9), 0);
+}
+
+TEST(BlockHammer, EstimatesActivationCounts)
+{
+    BlockHammer::Params params;
+    BlockHammer bh(1, params);
+    for (int i = 0; i < 300; ++i)
+        bh.onActivate(0, 42, 0);
+    EXPECT_GE(bh.estimateOf(0, 42), 300);
+    EXPECT_FALSE(bh.isBlacklisted(0, 42));
+}
+
+TEST(BlockHammer, BlacklistedRowsGetThrottled)
+{
+    BlockHammer::Params params;
+    params.blacklistThreshold = 100;
+    params.maxActsPerWindow = 1'000;
+    params.windowNs = 1'000'000; // 1 ms window -> 1 us min gap
+    BlockHammer bh(1, params);
+    Time now = 0;
+    Time total_delay = 0;
+    for (int i = 0; i < 300; ++i) {
+        const MitigationAction action = bh.onActivate(0, 42, now);
+        total_delay += action.delayNs;
+        now += 50 + action.delayNs;
+    }
+    EXPECT_TRUE(bh.isBlacklisted(0, 42));
+    // 200 post-blacklist ACTs at >= 1 us spacing vs 50 ns natural.
+    EXPECT_GE(total_delay, 150'000);
+    EXPECT_EQ(bh.delayInjected(), total_delay);
+}
+
+TEST(BlockHammer, UnrelatedRowsUnaffected)
+{
+    BlockHammer::Params params;
+    params.blacklistThreshold = 64;
+    BlockHammer bh(1, params);
+    for (int i = 0; i < 10'000; ++i)
+        bh.onActivate(0, 7, 0);
+    EXPECT_TRUE(bh.isBlacklisted(0, 7));
+    // A different row sharing no dominant counters stays clean.
+    EXPECT_EQ(bh.onActivate(0, 900'000, 0).delayNs, 0);
+}
+
+TEST(BlockHammer, WindowClearsFilters)
+{
+    BlockHammer::Params params;
+    params.blacklistThreshold = 64;
+    params.windowRefs = 2;
+    BlockHammer bh(1, params);
+    for (int i = 0; i < 100; ++i)
+        bh.onActivate(0, 5, 0);
+    EXPECT_TRUE(bh.isBlacklisted(0, 5));
+    bh.onRefresh(0);
+    bh.onRefresh(0);
+    EXPECT_FALSE(bh.isBlacklisted(0, 5));
+}
+
+// ---------------------------------------------------------------------
+// Host integration: the controller policies protect a module whose
+// in-DRAM TRR the U-TRR custom pattern defeats.
+// ---------------------------------------------------------------------
+
+SweepResult
+customSweepWith(ControllerMitigation *mitigation, int positions = 4)
+{
+    const ModuleSpec spec = *findModuleSpec("A5");
+    DramModule module(spec, 91);
+    SoftMcHost host(module);
+    if (mitigation != nullptr)
+        host.attachMitigation(mitigation);
+    const DiscoveredMapping mapping(spec.scramble, spec.rowsPerBank);
+    SweepConfig cfg;
+    cfg.positions = positions;
+    return sweepCustomPattern(host, mapping,
+                              defaultCustomParams(spec), cfg);
+}
+
+TEST(MitigatedHost, CustomPatternDefeatsTrrAlone)
+{
+    const SweepResult unprotected = customSweepWith(nullptr);
+    EXPECT_GE(unprotected.vulnerableRows, 3);
+}
+
+TEST(MitigatedHost, GrapheneBlocksTheCustomPattern)
+{
+    Graphene::Params params;
+    params.threshold = 2'000; // well below any HC_first
+    Graphene graphene(8, params);
+    const SweepResult protected_sweep = customSweepWith(&graphene);
+    EXPECT_EQ(protected_sweep.vulnerableRows, 0);
+    EXPECT_GT(graphene.refreshesOrdered(), 0u);
+}
+
+TEST(MitigatedHost, BlockHammerThrottlesTheCustomPattern)
+{
+    BlockHammer::Params params;
+    params.blacklistThreshold = 1'024;
+    params.maxActsPerWindow = 4'096;
+    BlockHammer bh(8, params);
+    const SweepResult protected_sweep = customSweepWith(&bh);
+    EXPECT_EQ(protected_sweep.vulnerableRows, 0);
+    EXPECT_GT(bh.delayInjected(), 0);
+}
+
+TEST(MitigatedHost, ParaWithStrongProbabilityProtects)
+{
+    Para::Params params;
+    params.probability = 0.01; // strong setting
+    Para para(params, 92);
+    const SweepResult protected_sweep = customSweepWith(&para);
+    EXPECT_EQ(protected_sweep.vulnerableRows, 0);
+}
+
+} // namespace
+} // namespace utrr

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "dram/module.hh"
+#include "dram/timing.hh"
+
+namespace utrr
+{
+namespace
+{
+
+ModuleSpec
+smallSpec(TrrVersion trr = TrrVersion::kNone)
+{
+    ModuleSpec spec = *findModuleSpec("A5");
+    spec.trr = trr;
+    spec.rowsPerBank = 4 * 1024;
+    spec.banks = 2;
+    spec.remapsPerBank = 0;
+    spec.scramble = RowScramble::kSequential;
+    return spec;
+}
+
+TEST(DramModule, WriteReadRoundTrip)
+{
+    DramModule module(smallSpec(), 1);
+    module.act(0, 100, 0);
+    module.wr(0, DataPattern::checkerboard(), 0);
+    const RowReadout readout = module.rd(0);
+    module.pre(0, 0);
+    EXPECT_EQ(readout.countFlipsVs(DataPattern::checkerboard(), 100), 0);
+    EXPECT_NE(readout.countFlipsVs(DataPattern::allZeros(), 100), 0);
+}
+
+TEST(DramModule, LogicalPhysicalTranslation)
+{
+    ModuleSpec spec = smallSpec();
+    spec.scramble = RowScramble::kSwapHalfPairs;
+    DramModule module(spec, 1);
+    EXPECT_EQ(module.toPhysical(0, 2), 3);
+    EXPECT_EQ(module.toLogical(0, 3), 2);
+    // ACT of logical 2 opens physical 3.
+    module.act(0, 2, 0);
+    EXPECT_EQ(module.bankAt(0).openRow(), 3);
+    module.pre(0, 0);
+}
+
+TEST(DramModule, RegularRefreshKeepsDataAlive)
+{
+    DramModule module(smallSpec(), 2);
+    module.act(0, 50, 0);
+    module.wr(0, DataPattern::allOnes(), 0);
+    module.pre(0, 0);
+
+    // REF at the default rate for 10 seconds of simulated time: no row
+    // may decay.
+    Time now = 0;
+    const Timing timing;
+    while (now < 10 * kNsPerSec) {
+        module.ref(now);
+        now += timing.tREFI;
+    }
+    module.act(0, 50, now);
+    const RowReadout readout = module.rd(0);
+    module.pre(0, now);
+    EXPECT_EQ(readout.countFlipsVs(DataPattern::allOnes(), 50), 0);
+}
+
+TEST(DramModule, WithoutRefreshWeakRowsDecay)
+{
+    DramModule module(smallSpec(), 3);
+    int failing = 0;
+    const Time wait = msToNs(3'000);
+    for (Row r = 0; r < 400; ++r) {
+        module.act(0, r, 0);
+        module.wr(0, DataPattern::allOnes(), 0);
+        module.pre(0, 0);
+    }
+    for (Row r = 0; r < 400; ++r) {
+        module.act(0, r, wait);
+        const RowReadout readout = module.rd(0);
+        module.pre(0, wait);
+        if (readout.countFlipsVs(DataPattern::allOnes(), r) > 0)
+            ++failing;
+    }
+    // With ~55% weak rows (retention <= 2.5 s), a large fraction fails
+    // after 3 s.
+    EXPECT_GT(failing, 120);
+    EXPECT_LT(failing, 350);
+}
+
+TEST(DramModule, TrrRefreshesVictimsOfDetectedAggressor)
+{
+    // White-box: with vendor A TRR, hammering one row and issuing REFs
+    // must trigger TRR-induced refreshes.
+    DramModule module(smallSpec(TrrVersion::kATrr1), 4);
+    for (int i = 0; i < 100; ++i) {
+        module.act(0, 500, i);
+        module.pre(0, i);
+    }
+    EXPECT_EQ(module.trrRefreshCount(), 0u);
+    for (int ref = 0; ref < 18; ++ref)
+        module.ref(1'000 + ref);
+    // A_TRR1 refreshes 4 neighbours per detection; TREF_a + TREF_b
+    // both detected row 500 within 18 REFs.
+    EXPECT_GE(module.trrRefreshCount(), 4u);
+}
+
+TEST(DramModule, TrrVictimExpansionRespectsVersion)
+{
+    // A_TRR2 refreshes only +-1 (2 rows per detection).
+    DramModule module(smallSpec(TrrVersion::kATrr2), 5);
+    for (int i = 0; i < 100; ++i) {
+        module.act(0, 500, i);
+        module.pre(0, i);
+    }
+    for (int ref = 0; ref < 9; ++ref)
+        module.ref(1'000 + ref);
+    EXPECT_EQ(module.trrRefreshCount(), 2u);
+}
+
+TEST(DramModule, RefPrechargeProtocolEnforced)
+{
+    DramModule module(smallSpec(), 6);
+    module.act(0, 1, 0);
+    EXPECT_DEATH(module.ref(10), "REF with bank");
+    module.pre(0, 0);
+    module.ref(10);
+}
+
+TEST(DramModule, RefsUntilRegularRefreshMatchesGroundTruth)
+{
+    DramModule module(smallSpec(), 7);
+    module.act(0, 200, 0);
+    module.wr(0, DataPattern::allOnes(), 0);
+    module.pre(0, 0);
+
+    const Row phys = module.toPhysical(0, 200);
+    const int wait = module.refsUntilRegularRefresh(phys);
+    ASSERT_GE(wait, 0);
+    ASSERT_LT(wait, module.regularRefreshPeriod());
+
+    for (int i = 0; i < wait; ++i)
+        module.ref(i);
+    const Time before = module.bankAt(0).peekRow(phys)->lastRefresh();
+    module.ref(10'000);
+    EXPECT_EQ(module.bankAt(0).peekRow(phys)->lastRefresh(), 10'000);
+    EXPECT_EQ(before, 0);
+}
+
+TEST(DramModule, ResetTrrStateClearsDetection)
+{
+    DramModule module(smallSpec(TrrVersion::kATrr1), 8);
+    for (int i = 0; i < 100; ++i) {
+        module.act(0, 500, i);
+        module.pre(0, i);
+    }
+    module.resetTrrState();
+    for (int ref = 0; ref < 36; ++ref)
+        module.ref(1'000 + ref);
+    EXPECT_EQ(module.trrRefreshCount(), 0u);
+}
+
+TEST(DramModule, PairedModuleRefreshesOnlyPairRow)
+{
+    ModuleSpec spec = smallSpec(TrrVersion::kCTrr1);
+    DramModule module(spec, 9);
+    ASSERT_TRUE(spec.paired());
+    // Hammer an odd row a lot; its pair (even) row is the only victim.
+    for (int i = 0; i < 4'000; ++i) {
+        module.act(0, 501, i);
+        module.pre(0, i);
+    }
+    for (int ref = 0; ref < 17; ++ref)
+        module.ref(10'000 + ref);
+    EXPECT_EQ(module.trrRefreshCount(), 1u);
+}
+
+} // namespace
+} // namespace utrr

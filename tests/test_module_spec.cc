@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/module_spec.hh"
+
+namespace utrr
+{
+namespace
+{
+
+TEST(ModuleSpecs, Exactly45Modules)
+{
+    EXPECT_EQ(allModuleSpecs().size(), 45u);
+}
+
+TEST(ModuleSpecs, FifteenPerVendor)
+{
+    int a = 0;
+    int b = 0;
+    int c = 0;
+    for (const ModuleSpec &spec : allModuleSpecs()) {
+        a += spec.vendor == 'A' ? 1 : 0;
+        b += spec.vendor == 'B' ? 1 : 0;
+        c += spec.vendor == 'C' ? 1 : 0;
+    }
+    EXPECT_EQ(a, 15);
+    EXPECT_EQ(b, 15);
+    EXPECT_EQ(c, 15);
+}
+
+TEST(ModuleSpecs, NamesUniqueAndLookupWorks)
+{
+    std::set<std::string> names;
+    for (const ModuleSpec &spec : allModuleSpecs())
+        names.insert(spec.name);
+    EXPECT_EQ(names.size(), 45u);
+
+    const auto a5 = findModuleSpec("A5");
+    ASSERT_TRUE(a5.has_value());
+    EXPECT_EQ(a5->vendor, 'A');
+    EXPECT_FALSE(findModuleSpec("Z9").has_value());
+}
+
+TEST(ModuleSpecs, Table1HeadlineRows)
+{
+    const ModuleSpec a0 = *findModuleSpec("A0");
+    EXPECT_EQ(a0.date, "19-50");
+    EXPECT_EQ(a0.banks, 16);
+    EXPECT_EQ(a0.pins, 8);
+    EXPECT_EQ(a0.trr, TrrVersion::kATrr1);
+    EXPECT_DOUBLE_EQ(a0.hcFirst, 16'000);
+
+    const ModuleSpec b7 = *findModuleSpec("B7");
+    EXPECT_EQ(b7.ranks, 2);
+    EXPECT_EQ(b7.trr, TrrVersion::kBTrr1);
+    EXPECT_DOUBLE_EQ(b7.paperMaxFlipsPerHammer, 31.14);
+
+    const ModuleSpec c12 = *findModuleSpec("C12");
+    EXPECT_EQ(c12.chipDensityGbit, 16);
+    EXPECT_EQ(c12.trr, TrrVersion::kCTrr3);
+}
+
+TEST(ModuleSpecs, BankCountDeterminesRows)
+{
+    for (const ModuleSpec &spec : allModuleSpecs()) {
+        if (spec.banks == 16)
+            EXPECT_EQ(spec.rowsPerBank, 32 * 1024) << spec.name;
+        else
+            EXPECT_EQ(spec.rowsPerBank, 64 * 1024) << spec.name;
+    }
+}
+
+TEST(ModuleSpecs, VendorARefreshesFasterThanSpec)
+{
+    // Obs. A8.
+    for (const ModuleSpec &spec : allModuleSpecs()) {
+        if (spec.vendor == 'A')
+            EXPECT_EQ(spec.refreshPeriodRefs, 3'758) << spec.name;
+        else
+            EXPECT_EQ(spec.refreshPeriodRefs, 8'192) << spec.name;
+    }
+}
+
+TEST(ModuleSpecs, PairedOnlyForCTrr1)
+{
+    for (const ModuleSpec &spec : allModuleSpecs()) {
+        EXPECT_EQ(spec.paired(), spec.trr == TrrVersion::kCTrr1)
+            << spec.name;
+    }
+    // C0-8 implement C_TRR1 (Table 1).
+    for (int i = 0; i <= 8; ++i) {
+        EXPECT_TRUE(findModuleSpec("C" + std::to_string(i))->paired());
+    }
+    EXPECT_FALSE(findModuleSpec("C9")->paired());
+}
+
+TEST(ModuleSpecs, TraitsMatchTable1Columns)
+{
+    EXPECT_EQ(trrTraits(TrrVersion::kATrr1).trrToRefPeriod, 9);
+    EXPECT_EQ(trrTraits(TrrVersion::kATrr1).neighborsRefreshed, 4);
+    EXPECT_EQ(trrTraits(TrrVersion::kATrr1).aggressorCapacity, 16);
+    EXPECT_TRUE(trrTraits(TrrVersion::kATrr1).perBank);
+
+    EXPECT_EQ(trrTraits(TrrVersion::kATrr2).neighborsRefreshed, 2);
+
+    EXPECT_EQ(trrTraits(TrrVersion::kBTrr1).trrToRefPeriod, 4);
+    EXPECT_EQ(trrTraits(TrrVersion::kBTrr1).aggressorCapacity, 1);
+    EXPECT_FALSE(trrTraits(TrrVersion::kBTrr1).perBank);
+    EXPECT_EQ(trrTraits(TrrVersion::kBTrr2).trrToRefPeriod, 9);
+    EXPECT_EQ(trrTraits(TrrVersion::kBTrr3).trrToRefPeriod, 2);
+    EXPECT_EQ(trrTraits(TrrVersion::kBTrr3).neighborsRefreshed, 4);
+    EXPECT_TRUE(trrTraits(TrrVersion::kBTrr3).perBank);
+
+    EXPECT_EQ(trrTraits(TrrVersion::kCTrr1).trrToRefPeriod, 17);
+    EXPECT_EQ(trrTraits(TrrVersion::kCTrr2).trrToRefPeriod, 9);
+    EXPECT_EQ(trrTraits(TrrVersion::kCTrr3).trrToRefPeriod, 8);
+}
+
+TEST(ModuleSpecs, HcFirstRangesPerTable1)
+{
+    // Spot-check the HC_first ranges of grouped rows.
+    for (int i = 1; i <= 5; ++i) {
+        const double hc =
+            findModuleSpec("A" + std::to_string(i))->hcFirst;
+        EXPECT_GE(hc, 13'000);
+        EXPECT_LE(hc, 15'000);
+    }
+    for (int i = 1; i <= 4; ++i) {
+        const double hc =
+            findModuleSpec("B" + std::to_string(i))->hcFirst;
+        EXPECT_GE(hc, 159'000);
+        EXPECT_LE(hc, 192'000);
+    }
+    for (int i = 12; i <= 14; ++i) {
+        const double hc =
+            findModuleSpec("C" + std::to_string(i))->hcFirst;
+        EXPECT_GE(hc, 6'000);
+        EXPECT_LE(hc, 7'000);
+    }
+}
+
+TEST(ModuleSpecs, VersionNames)
+{
+    EXPECT_EQ(trrVersionName(TrrVersion::kATrr1), "A_TRR1");
+    EXPECT_EQ(trrVersionName(TrrVersion::kBTrr3), "B_TRR3");
+    EXPECT_EQ(trrVersionName(TrrVersion::kCTrr2), "C_TRR2");
+    EXPECT_EQ(trrVersionName(TrrVersion::kNone), "none");
+}
+
+} // namespace
+} // namespace utrr

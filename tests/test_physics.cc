@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dram/physics.hh"
+
+namespace utrr
+{
+namespace
+{
+
+PhysicsGenerator
+makeGenerator(std::uint64_t seed = 1)
+{
+    return PhysicsGenerator(RetentionModelConfig{}, HammerModelConfig{},
+                            seed, 64 * 1024);
+}
+
+TEST(Physics, DeterministicPerRow)
+{
+    const PhysicsGenerator gen = makeGenerator();
+    const RowPhysics a = gen.generate(0, 1234);
+    const RowPhysics b = gen.generate(0, 1234);
+    ASSERT_EQ(a.weakCells.size(), b.weakCells.size());
+    for (std::size_t i = 0; i < a.weakCells.size(); ++i) {
+        EXPECT_EQ(a.weakCells[i].col, b.weakCells[i].col);
+        EXPECT_EQ(a.weakCells[i].retention, b.weakCells[i].retention);
+    }
+    ASSERT_EQ(a.hammerCells.size(), b.hammerCells.size());
+    EXPECT_EQ(a.hammerCells[0].threshold, b.hammerCells[0].threshold);
+}
+
+TEST(Physics, DifferentRowsDiffer)
+{
+    const PhysicsGenerator gen = makeGenerator();
+    const RowPhysics a = gen.generate(0, 1);
+    const RowPhysics b = gen.generate(0, 2);
+    EXPECT_NE(a.minRetention(), b.minRetention());
+}
+
+TEST(Physics, DifferentBanksDiffer)
+{
+    const PhysicsGenerator gen = makeGenerator();
+    EXPECT_NE(gen.generate(0, 7).minRetention(),
+              gen.generate(1, 7).minRetention());
+}
+
+TEST(Physics, RetentionPrefixMatchesFullGeneration)
+{
+    const PhysicsGenerator gen = makeGenerator();
+    const RowPhysics full = gen.generate(2, 99);
+    const RowPhysics ret = gen.generateRetention(2, 99);
+    ASSERT_EQ(full.weakCells.size(), ret.weakCells.size());
+    for (std::size_t i = 0; i < ret.weakCells.size(); ++i)
+        EXPECT_EQ(full.weakCells[i].retention,
+                  ret.weakCells[i].retention);
+    EXPECT_TRUE(ret.hammerCells.empty());
+}
+
+TEST(Physics, WeakCellsSortedByRetention)
+{
+    const PhysicsGenerator gen = makeGenerator();
+    for (Row row = 0; row < 200; ++row) {
+        const RowPhysics phys = gen.generateRetention(0, row);
+        EXPECT_TRUE(std::is_sorted(
+            phys.weakCells.begin(), phys.weakCells.end(),
+            [](const WeakCell &a, const WeakCell &b) {
+                return a.retention < b.retention;
+            }));
+    }
+}
+
+TEST(Physics, HammerCellsSortedByThreshold)
+{
+    const PhysicsGenerator gen = makeGenerator();
+    const RowPhysics phys = gen.generate(0, 5);
+    EXPECT_TRUE(std::is_sorted(
+        phys.hammerCells.begin(), phys.hammerCells.end(),
+        [](const HammerCell &a, const HammerCell &b) {
+            return a.threshold < b.threshold;
+        }));
+}
+
+TEST(Physics, WeakRowFractionRoughlyRespected)
+{
+    RetentionModelConfig cfg;
+    cfg.weakRowFraction = 0.5;
+    const PhysicsGenerator gen(cfg, HammerModelConfig{}, 3, 64 * 1024);
+    int weak = 0;
+    const int rows = 2'000;
+    for (Row row = 0; row < rows; ++row) {
+        const RowPhysics phys = gen.generateRetention(0, row);
+        if (phys.minRetention() < msToNs(cfg.weakRetMaxMs + 1))
+            ++weak;
+    }
+    EXPECT_NEAR(weak / static_cast<double>(rows), 0.5, 0.05);
+}
+
+TEST(Physics, WeakRetentionWithinClamp)
+{
+    RetentionModelConfig cfg;
+    const PhysicsGenerator gen(cfg, HammerModelConfig{}, 4, 64 * 1024);
+    for (Row row = 0; row < 500; ++row) {
+        const RowPhysics phys = gen.generateRetention(0, row);
+        const Time min_ret = phys.minRetention();
+        if (min_ret < msToNs(cfg.strongRetMinMs)) {
+            EXPECT_GE(min_ret, msToNs(cfg.weakRetMinMs));
+            EXPECT_LE(min_ret, msToNs(cfg.weakRetMaxMs));
+        }
+    }
+}
+
+TEST(Physics, TemperatureScalesRetention)
+{
+    RetentionModelConfig hot;
+    hot.tempCelsius = 85.0;
+    RetentionModelConfig cool = hot;
+    cool.tempCelsius = 45.0;
+    // Retention halves every +10 C, so 45 C holds 16x longer than 85 C.
+    EXPECT_DOUBLE_EQ(cool.tempScale(), 16.0);
+    EXPECT_DOUBLE_EQ(hot.tempScale(), 1.0);
+
+    const PhysicsGenerator hot_gen(hot, HammerModelConfig{}, 5,
+                                   64 * 1024);
+    const PhysicsGenerator cool_gen(cool, HammerModelConfig{}, 5,
+                                    64 * 1024);
+    const Time hot_ret = hot_gen.generateRetention(0, 9).minRetention();
+    const Time cool_ret =
+        cool_gen.generateRetention(0, 9).minRetention();
+    EXPECT_NEAR(static_cast<double>(cool_ret),
+                16.0 * static_cast<double>(hot_ret), 100.0);
+}
+
+TEST(Physics, HcFirstBoundsWeakestCell)
+{
+    HammerModelConfig ham;
+    ham.hcFirst = 10'000;
+    const PhysicsGenerator gen(RetentionModelConfig{}, ham, 6,
+                               64 * 1024);
+    double min_threshold = 1e18;
+    for (Row row = 0; row < 500; ++row) {
+        const RowPhysics phys = gen.generate(0, row);
+        min_threshold =
+            std::min(min_threshold, phys.minHammerThreshold());
+        // No cell may flip below the module's HC_first in an
+        // interleaved double-sided attack (2 units per hammer pair).
+        EXPECT_GE(phys.minHammerThreshold(), 2.0 * ham.hcFirst);
+    }
+    // The weakest rows should sit close to HC_first.
+    EXPECT_LT(min_threshold, 2.0 * ham.hcFirst * 1.2);
+}
+
+TEST(Physics, VrtCellsAppearInWeakRows)
+{
+    RetentionModelConfig cfg;
+    cfg.vrtRowFraction = 0.5;
+    const PhysicsGenerator gen(cfg, HammerModelConfig{}, 7, 64 * 1024);
+    int vrt_rows = 0;
+    int weak_rows = 0;
+    for (Row row = 0; row < 2'000; ++row) {
+        const RowPhysics phys = gen.generateRetention(0, row);
+        const bool weak =
+            phys.minRetention() < msToNs(cfg.weakRetMaxMs + 1);
+        if (!weak)
+            continue;
+        ++weak_rows;
+        for (const WeakCell &cell : phys.weakCells)
+            if (cell.vrt) {
+                ++vrt_rows;
+                break;
+            }
+    }
+    ASSERT_GT(weak_rows, 100);
+    EXPECT_NEAR(vrt_rows / static_cast<double>(weak_rows), 0.5, 0.08);
+}
+
+TEST(Physics, EmptyHammerCellsReportInfiniteThreshold)
+{
+    RowPhysics phys;
+    EXPECT_TRUE(std::isinf(phys.minHammerThreshold()));
+    EXPECT_EQ(phys.minRetention(), 0);
+}
+
+} // namespace
+} // namespace utrr

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "dram/refresh_engine.hh"
+#include "ecc/reed_solomon.hh"
+#include "trr/vendor_a.hh"
+#include "trr/vendor_b.hh"
+#include "trr/vendor_c.hh"
+
+namespace utrr
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Refresh engine: full coverage for arbitrary (rows, period) pairs.
+// ---------------------------------------------------------------------
+
+class RefreshEngineGrid
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(RefreshEngineGrid, EveryRowExactlyOncePerPeriod)
+{
+    const auto [rows, period] = GetParam();
+    RefreshEngine engine(rows, period);
+    std::vector<int> covered(static_cast<std::size_t>(rows), 0);
+    for (int ref = 0; ref < period; ++ref) {
+        for (const auto &[lo, hi] : engine.onRefresh()) {
+            for (Row r = lo; r < hi; ++r)
+                ++covered[static_cast<std::size_t>(r)];
+        }
+    }
+    for (int c : covered)
+        ASSERT_EQ(c, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RefreshEngineGrid,
+    ::testing::Values(std::pair{64, 7}, std::pair{100, 100},
+                      std::pair{1'000, 3'758}, std::pair{8'192, 8'192},
+                      std::pair{65'600, 3'758}, std::pair{7, 64},
+                      std::pair{1, 1}));
+
+// ---------------------------------------------------------------------
+// Vendor A table: capacity bound holds under random workloads.
+// ---------------------------------------------------------------------
+
+class VendorAWorkload : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(VendorAWorkload, TableNeverExceedsCapacity)
+{
+    VendorATrr trr(2);
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 20'000; ++i) {
+        const Bank bank = static_cast<Bank>(rng.uniformInt(0, 1));
+        const Row row = static_cast<Row>(rng.uniformInt(0, 400));
+        trr.onActivate(bank, row);
+        if (rng.chance(0.05))
+            trr.onRefresh();
+        ASSERT_LE(trr.tableOf(0).size(), 16u);
+        ASSERT_LE(trr.tableOf(1).size(), 16u);
+    }
+}
+
+TEST_P(VendorAWorkload, DetectionsAreTrackedRows)
+{
+    VendorATrr trr(1);
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+    std::set<Row> activated;
+    for (int i = 0; i < 5'000; ++i) {
+        const Row row = static_cast<Row>(rng.uniformInt(0, 200));
+        activated.insert(row);
+        trr.onActivate(0, row);
+        for (const auto &action : trr.onRefresh()) {
+            // TRR can only ever detect a row that was activated.
+            ASSERT_TRUE(activated.count(action.aggressorPhysRow))
+                << action.aggressorPhysRow;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VendorAWorkload,
+                         ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------
+// Vendor B/C: detections only ever name activated rows.
+// ---------------------------------------------------------------------
+
+class SamplerWorkload : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SamplerWorkload, VendorBDetectsOnlyActivatedRows)
+{
+    VendorBTrr::Params params;
+    params.trrRefPeriod = 2;
+    VendorBTrr trr(2, params,
+                   static_cast<std::uint64_t>(GetParam()));
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+    std::set<Row> activated;
+    for (int i = 0; i < 10'000; ++i) {
+        const Row row = static_cast<Row>(rng.uniformInt(0, 50));
+        activated.insert(row);
+        trr.onActivate(static_cast<Bank>(rng.uniformInt(0, 1)), row);
+        if (rng.chance(0.02)) {
+            for (const auto &action : trr.onRefresh())
+                ASSERT_TRUE(activated.count(action.aggressorPhysRow));
+        }
+    }
+}
+
+TEST_P(SamplerWorkload, VendorCDetectsOnlyActivatedRows)
+{
+    VendorCTrr::Params params;
+    params.trrRefPeriod = 4;
+    VendorCTrr trr(1, params,
+                   static_cast<std::uint64_t>(GetParam()));
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 5);
+    std::set<Row> activated;
+    for (int i = 0; i < 10'000; ++i) {
+        const Row row = static_cast<Row>(rng.uniformInt(0, 50));
+        activated.insert(row);
+        trr.onActivate(0, row);
+        for (const auto &action : trr.onRefresh())
+            ASSERT_TRUE(activated.count(action.aggressorPhysRow));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplerWorkload,
+                         ::testing::Range(1, 7));
+
+// ---------------------------------------------------------------------
+// Reed-Solomon across a parameter grid: encode/decode round trips and
+// t-error correction for every configuration.
+// ---------------------------------------------------------------------
+
+class RsGrid : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(RsGrid, RoundTripAndCorrection)
+{
+    const auto [n, k] = GetParam();
+    const ReedSolomon rs(n, k);
+    Rng rng(static_cast<std::uint64_t>(n * 1'000 + k));
+
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<Gf256::Elem> data;
+        for (int i = 0; i < k; ++i) {
+            data.push_back(
+                static_cast<Gf256::Elem>(rng.uniformInt(0, 255)));
+        }
+        const auto codeword = rs.encode(data);
+        ASSERT_EQ(rs.decode(codeword).status,
+                  RsDecodeResult::Status::kClean);
+
+        if (rs.t() == 0)
+            continue;
+        auto received = codeword;
+        std::set<int> positions;
+        while (static_cast<int>(positions.size()) < rs.t()) {
+            positions.insert(
+                static_cast<int>(rng.uniformInt(0, n - 1)));
+        }
+        for (int pos : positions) {
+            received[static_cast<std::size_t>(pos)] ^=
+                static_cast<Gf256::Elem>(rng.uniformInt(1, 255));
+        }
+        const RsDecodeResult result = rs.decode(received);
+        ASSERT_EQ(result.status, RsDecodeResult::Status::kCorrected);
+        ASSERT_EQ(result.codeword, codeword);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RsGrid,
+    ::testing::Values(std::pair{10, 8}, std::pair{12, 8},
+                      std::pair{15, 8}, std::pair{22, 8},
+                      std::pair{255, 223}, std::pair{20, 4},
+                      std::pair{9, 8}, std::pair{64, 32}));
+
+} // namespace
+} // namespace utrr

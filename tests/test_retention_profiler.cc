@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "core/retention_profiler.hh"
+#include "dram/module.hh"
+
+namespace utrr
+{
+namespace
+{
+
+ModuleSpec
+smallSpec()
+{
+    ModuleSpec spec = *findModuleSpec("A5");
+    spec.trr = TrrVersion::kNone;
+    spec.rowsPerBank = 4 * 1024;
+    spec.banks = 1;
+    spec.remapsPerBank = 0;
+    spec.scramble = RowScramble::kSequential;
+    return spec;
+}
+
+TEST(RetentionProfiler, DistributionMatchesTheModel)
+{
+    DramModule module(smallSpec(), 61);
+    SoftMcHost host(module);
+    RetentionProfiler::Config cfg;
+    cfg.rowEnd = 2'048;
+    cfg.repeats = 1;
+    RetentionProfiler profiler(host, cfg);
+    const RetentionProfile profile = profiler.profile();
+
+    EXPECT_EQ(profile.rowsProfiled, 2'048);
+    // The substrate's weak-row fraction is 62% with retention <= 2.5 s,
+    // but profiling with a single data pattern only observes the cells
+    // charged under that pattern (true-cells for all-ones): roughly
+    // three quarters of the weak rows are visible.
+    EXPECT_NEAR(profile.weakFraction(), 0.48, 0.06);
+    // Nothing fails at the 125 ms floor (clamp is 110 ms, but the
+    // first bucket captures rows in (0, 125]): only a sliver.
+    EXPECT_LT(profile.failedAtMin, profile.rowsProfiled / 20);
+    // Histogram buckets are populated across the tested range.
+    EXPECT_GE(profile.histogramMs.size(), 3u);
+}
+
+TEST(RetentionProfiler, VrtSuspectsDetected)
+{
+    DramModule module(smallSpec(), 62);
+    SoftMcHost host(module);
+    RetentionProfiler::Config cfg;
+    cfg.rowEnd = 2'048;
+    cfg.repeats = 4;
+    RetentionProfiler profiler(host, cfg);
+    const RetentionProfile profile = profiler.profile();
+    // ~6% of weak rows carry a VRT cell; repeats catch a fraction of
+    // them (those toggling near a tested boundary).
+    EXPECT_GT(profile.vrtSuspects, 0);
+    EXPECT_LT(profile.vrtSuspects, profile.rowsProfiled / 5);
+}
+
+TEST(RetentionProfiler, ColdModuleHasFewerWeakRows)
+{
+    // At 45 C retention is 16x longer: only the weakest tail (base
+    // retention under ~250 ms at 85 C) still fails within the 4 s
+    // horizon.
+    RetentionModelConfig retention;
+    retention.tempCelsius = 45.0;
+    DramModule module(smallSpec(), 63, &retention);
+    SoftMcHost host(module);
+    RetentionProfiler::Config cfg;
+    cfg.rowEnd = 1'024;
+    cfg.repeats = 1;
+    RetentionProfiler profiler(host, cfg);
+    const RetentionProfile profile = profiler.profile();
+    EXPECT_LT(profile.weakFraction(), 0.15);
+
+    // And the hot module sees far more failures over the same range.
+    DramModule hot_module(smallSpec(), 63);
+    SoftMcHost hot_host(hot_module);
+    RetentionProfiler hot_profiler(hot_host, cfg);
+    EXPECT_GT(hot_profiler.profile().weakFraction(),
+              3.0 * profile.weakFraction());
+}
+
+TEST(RetentionProfiler, HistogramTotalsAddUp)
+{
+    DramModule module(smallSpec(), 64);
+    SoftMcHost host(module);
+    RetentionProfiler::Config cfg;
+    cfg.rowEnd = 512;
+    cfg.repeats = 1;
+    RetentionProfiler profiler(host, cfg);
+    const RetentionProfile profile = profiler.profile();
+    int in_histogram = 0;
+    for (const auto &[bucket, count] : profile.histogramMs)
+        in_histogram += count;
+    EXPECT_EQ(in_histogram + profile.neverFailed,
+              profile.rowsProfiled);
+}
+
+} // namespace
+} // namespace utrr

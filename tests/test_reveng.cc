@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/reveng.hh"
+#include "dram/module.hh"
+#include "softmc/host.hh"
+
+namespace utrr
+{
+namespace
+{
+
+/**
+ * End-to-end reverse engineering on full-size modules: the black-box
+ * procedures must re-derive the ground-truth TRR properties. These are
+ * the headline methodology tests (paper §6).
+ */
+struct RevengFixture
+{
+    explicit RevengFixture(const std::string &module_name,
+                           std::uint64_t seed = 11)
+        : spec(*findModuleSpec(module_name)), module(spec, seed),
+          host(module)
+    {
+    }
+
+    TrrReveng
+    makeReveng()
+    {
+        TrrRevengConfig cfg;
+        cfg.scoutRowEnd = 6 * 1024;
+        cfg.consistencyChecks = 30;
+        return TrrReveng(
+            host, DiscoveredMapping(spec.scramble, spec.rowsPerBank),
+            cfg);
+    }
+
+    ModuleSpec spec;
+    DramModule module;
+    SoftMcHost host;
+};
+
+TEST(TrrReveng, VendorAPeriodNeighboursDetection)
+{
+    RevengFixture fix("A5");
+    TrrReveng reveng = fix.makeReveng();
+    EXPECT_EQ(reveng.discoverTrrRefPeriod(), 9);
+    EXPECT_EQ(reveng.discoverNeighborsRefreshed(), 4);
+    EXPECT_EQ(reveng.discoverDetectionType(),
+              DetectionType::kCounterBased);
+}
+
+TEST(TrrReveng, VendorA2RefreshesTwoNeighbours)
+{
+    RevengFixture fix("A13");
+    TrrReveng reveng = fix.makeReveng();
+    EXPECT_EQ(reveng.discoverNeighborsRefreshed(), 2);
+}
+
+TEST(TrrReveng, VendorACounterSemantics)
+{
+    RevengFixture fix("A5");
+    TrrReveng reveng = fix.makeReveng();
+    EXPECT_TRUE(reveng.discoverCounterResetOnDetect()); // Obs. A6
+    EXPECT_TRUE(reveng.discoverTablePersistence());     // Obs. A7
+}
+
+TEST(TrrReveng, VendorBPeriodAndSampling)
+{
+    RevengFixture fix("B8");
+    TrrReveng reveng = fix.makeReveng();
+    EXPECT_EQ(reveng.discoverTrrRefPeriod(), 4);
+    EXPECT_EQ(reveng.discoverNeighborsRefreshed(), 2);
+    EXPECT_EQ(reveng.discoverDetectionType(),
+              DetectionType::kSamplingBased);
+    EXPECT_TRUE(reveng.discoverSamplerRetention()); // Obs. B5
+}
+
+TEST(TrrReveng, VendorBCapacityIsOne)
+{
+    RevengFixture fix("B8");
+    TrrReveng reveng = fix.makeReveng();
+    EXPECT_EQ(reveng.discoverAggressorCapacity(), 1); // Obs. B4
+}
+
+TEST(TrrReveng, VendorBScopeChipWideVsPerBank)
+{
+    RevengFixture chip_wide("B8");
+    EXPECT_FALSE(chip_wide.makeReveng().discoverPerBankScope());
+
+    RevengFixture per_bank("B13");
+    EXPECT_TRUE(per_bank.makeReveng().discoverPerBankScope());
+}
+
+TEST(TrrReveng, VendorCPeriodAndWindowDetection)
+{
+    RevengFixture fix("C9");
+    TrrReveng reveng = fix.makeReveng();
+    EXPECT_EQ(reveng.discoverTrrRefPeriod(), 9);
+    EXPECT_EQ(reveng.discoverDetectionType(),
+              DetectionType::kWindowBased);
+}
+
+TEST(TrrReveng, VendorCPairedRefreshesPairRowOnly)
+{
+    // Obs. C3: for C0-8, a TRR refresh covers exactly the pair row.
+    RevengFixture fix("C7");
+    TrrReveng reveng = fix.makeReveng();
+    EXPECT_EQ(reveng.discoverNeighborsRefreshed(), 1);
+}
+
+TEST(TrrReveng, DominantPeriodHelper)
+{
+    using Trace = TrrReveng::IterationTrace;
+    EXPECT_EQ(Trace::dominantPeriod({}), 0);
+    EXPECT_EQ(Trace::dominantPeriod({5}), 0);
+    EXPECT_EQ(Trace::dominantPeriod({0, 9, 18, 27}), 9);
+    EXPECT_EQ(Trace::dominantPeriod({0, 9, 18, 20, 27, 36}), 9);
+}
+
+TEST(TrrReveng, IterationTraceEvents)
+{
+    TrrReveng::IterationTrace trace;
+    trace.masks = {{0, 0}, {1, 0}, {0, 0}, {0, 2}, {3, 0}};
+    EXPECT_EQ(trace.eventsOf(0), (std::vector<int>{1, 4}));
+    EXPECT_EQ(trace.eventsOf(1), (std::vector<int>{3}));
+    EXPECT_EQ(trace.anyEvents(), (std::vector<int>{1, 3, 4}));
+}
+
+} // namespace
+} // namespace utrr

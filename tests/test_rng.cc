@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+
+namespace utrr
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2'000; ++i) {
+        const std::int64_t v = rng.uniformInt(3, 10);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 10);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 20'000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 20'000.0, 0.25, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 10'000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, LogNormalMedian)
+{
+    Rng rng(19);
+    int below = 0;
+    const int n = 10'000;
+    for (int i = 0; i < n; ++i)
+        below += rng.logNormal(0.0, 0.6) < 1.0 ? 1 : 0;
+    // Median of exp(N(0, s)) is 1.
+    EXPECT_NEAR(below / static_cast<double>(n), 0.5, 0.03);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(23);
+    double sum = 0.0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(3.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, ForkIsIndependentOfParentUsage)
+{
+    Rng a(42);
+    Rng fork1 = a.fork(1);
+    // Forks with the same stream id from the same state match.
+    Rng b(42);
+    Rng fork2 = b.fork(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(fork1.next(), fork2.next());
+}
+
+TEST(Rng, ForkStreamsDiffer)
+{
+    Rng a(42);
+    Rng f1 = a.fork(1);
+    Rng f2 = a.fork(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += f1.next() == f2.next() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, HashMixIsDeterministic)
+{
+    EXPECT_EQ(hashMix(12345), hashMix(12345));
+    EXPECT_NE(hashMix(12345), hashMix(12346));
+}
+
+} // namespace
+} // namespace utrr

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "dram/row.hh"
+
+namespace utrr
+{
+namespace
+{
+
+constexpr int kBits = 64 * 1024;
+
+RowState
+makeRow(RowPhysics physics, Time now = 0)
+{
+    return RowState(std::move(physics), now, Rng(1), kBits,
+                    msToNs(4'000), 3.0);
+}
+
+RowPhysics
+oneWeakCell(Col col, Time retention, bool charged = true)
+{
+    RowPhysics phys;
+    WeakCell cell;
+    cell.col = col;
+    cell.retention = retention;
+    cell.chargedValue = charged;
+    phys.weakCells.push_back(cell);
+    return phys;
+}
+
+TEST(RowState, FreshRowReadsCleanly)
+{
+    RowState row = makeRow(oneWeakCell(10, msToNs(100)));
+    row.writePattern(DataPattern::allOnes(), 5, 0);
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allOnes(), 5), 0);
+}
+
+TEST(RowState, RetentionFlipAppearsAfterRetentionTime)
+{
+    RowState row = makeRow(oneWeakCell(10, msToNs(100)));
+    row.writePattern(DataPattern::allOnes(), 5, 0);
+    row.restoreCharge(msToNs(150)); // ACT at 150 ms: flip commits
+    const RowReadout readout = row.read();
+    const auto flips = readout.flipsVs(DataPattern::allOnes(), 5);
+    ASSERT_EQ(flips.size(), 1u);
+    EXPECT_EQ(flips[0], 10);
+    EXPECT_FALSE(readout.bit(10));
+}
+
+TEST(RowState, RefreshBeforeRetentionPreventsFlip)
+{
+    RowState row = makeRow(oneWeakCell(10, msToNs(100)));
+    row.writePattern(DataPattern::allOnes(), 5, 0);
+    row.restoreCharge(msToNs(60));  // refresh in time
+    row.restoreCharge(msToNs(150)); // 90 ms since refresh: still fine
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allOnes(), 5), 0);
+}
+
+TEST(RowState, RefreshAfterFailureCommitsTheFlip)
+{
+    // Paper footnote 4 / §3: a refresh restores whatever the cell
+    // holds; a flip that already happened is preserved.
+    RowState row = makeRow(oneWeakCell(10, msToNs(100)));
+    row.writePattern(DataPattern::allOnes(), 5, 0);
+    row.restoreCharge(msToNs(150)); // too late, flip committed
+    row.restoreCharge(msToNs(160));
+    row.restoreCharge(msToNs(10'000));
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allOnes(), 5), 1);
+}
+
+TEST(RowState, WriteClearsFlips)
+{
+    RowState row = makeRow(oneWeakCell(10, msToNs(100)));
+    row.writePattern(DataPattern::allOnes(), 5, 0);
+    row.restoreCharge(msToNs(150));
+    row.writePattern(DataPattern::allOnes(), 5, msToNs(151));
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allOnes(), 5), 0);
+}
+
+TEST(RowState, DischargedCellDoesNotFlip)
+{
+    // A true-cell storing 0 has no charge to lose.
+    RowState row = makeRow(oneWeakCell(10, msToNs(100), true));
+    row.writePattern(DataPattern::allZeros(), 5, 0);
+    row.restoreCharge(msToNs(500));
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allZeros(), 5), 0);
+}
+
+TEST(RowState, AntiCellFlipsZeroToOne)
+{
+    RowState row = makeRow(oneWeakCell(10, msToNs(100), false));
+    row.writePattern(DataPattern::allZeros(), 5, 0);
+    row.restoreCharge(msToNs(200));
+    const RowReadout readout = row.read();
+    EXPECT_TRUE(readout.bit(10)); // 0 decayed to 1
+}
+
+TEST(RowState, HammerFlipAtThreshold)
+{
+    RowPhysics phys;
+    HammerCell cell;
+    cell.col = 20;
+    cell.threshold = 100.0;
+    cell.chargedValue = true;
+    phys.hammerCells.push_back(cell);
+    RowState row = makeRow(std::move(phys));
+    row.writePattern(DataPattern::allOnes(), 5, 0);
+    row.addDisturbance(99, 99.0);
+    row.restoreCharge(1'000);
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allOnes(), 5), 0);
+    row.addDisturbance(99, 101.0);
+    row.restoreCharge(2'000);
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allOnes(), 5), 1);
+}
+
+TEST(RowState, RestoreResetsHammerCharge)
+{
+    RowPhysics phys;
+    HammerCell cell;
+    cell.col = 20;
+    cell.threshold = 100.0;
+    cell.chargedValue = true;
+    phys.hammerCells.push_back(cell);
+    RowState row = makeRow(std::move(phys));
+    row.writePattern(DataPattern::allOnes(), 5, 0);
+    row.addDisturbance(99, 60.0);
+    row.restoreCharge(1'000); // resets accumulated charge
+    row.addDisturbance(99, 60.0);
+    row.restoreCharge(2'000);
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allOnes(), 5), 0);
+    EXPECT_EQ(row.hammerCharge(), 0.0);
+}
+
+TEST(RowState, LastDisturberTracked)
+{
+    RowState row = makeRow(RowPhysics{});
+    EXPECT_EQ(row.lastDisturber(), kInvalidRow);
+    row.addDisturbance(42, 1.0);
+    EXPECT_EQ(row.lastDisturber(), 42);
+    row.restoreCharge(10);
+    EXPECT_EQ(row.lastDisturber(), kInvalidRow);
+}
+
+TEST(RowState, WriteWordOverridesAndRecharges)
+{
+    RowState row = makeRow(oneWeakCell(10, msToNs(100)));
+    row.writePattern(DataPattern::allOnes(), 5, 0);
+    row.restoreCharge(msToNs(150)); // col 10 flipped
+    row.writeWord(0, 0xffffffffffffffffULL); // rewrite word 0
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allOnes(), 5), 0);
+}
+
+TEST(RowState, WriteWordLeavesOtherFlips)
+{
+    RowState row = makeRow(oneWeakCell(100, msToNs(100)));
+    row.writePattern(DataPattern::allOnes(), 5, 0);
+    row.restoreCharge(msToNs(150)); // col 100 (word 1) flipped
+    row.writeWord(0, 0x1234ULL);    // unrelated word
+    const RowReadout readout = row.read();
+    EXPECT_EQ(readout.word(0), 0x1234ULL);
+    // Diffs vs all-ones: 59 zero bits of 0x1234 plus the retention
+    // flip at col 100.
+    EXPECT_EQ(readout.flipsVs(DataPattern::allOnes(), 5).size(), 60u);
+}
+
+TEST(RowState, VrtCellRetentionVaries)
+{
+    RowPhysics phys = oneWeakCell(10, msToNs(100));
+    phys.weakCells[0].vrt = true;
+    RowState row = makeRow(std::move(phys));
+
+    // Over many trials the VRT cell must sometimes survive past its
+    // low-state retention (high state = 3x retention).
+    int survived = 0;
+    int failed = 0;
+    Time now = 0;
+    for (int i = 0; i < 200; ++i) {
+        row.writePattern(DataPattern::allOnes(), 5, now);
+        now += msToNs(150); // beyond low-state, below high-state
+        row.restoreCharge(now);
+        if (row.read().countFlipsVs(DataPattern::allOnes(), 5) == 0)
+            ++survived;
+        else
+            ++failed;
+        now += msToNs(50);
+    }
+    EXPECT_GT(survived, 5);
+    EXPECT_GT(failed, 5);
+}
+
+TEST(RowReadout, WordAppliesFlips)
+{
+    RowState row = makeRow(oneWeakCell(3, msToNs(100)));
+    row.writePattern(DataPattern::allOnes(), 0, 0);
+    row.restoreCharge(msToNs(200));
+    const RowReadout readout = row.read();
+    EXPECT_EQ(readout.word(0), ~0ULL ^ (1ULL << 3));
+    EXPECT_EQ(readout.word(1), ~0ULL);
+}
+
+TEST(RowReadout, FlipsVsDifferentPatternDiffsWholeRow)
+{
+    RowState row = makeRow(RowPhysics{});
+    row.writePattern(DataPattern::allOnes(), 0, 0);
+    const RowReadout readout = row.read();
+    const auto diff = readout.flipsVs(DataPattern::allZeros(), 0);
+    EXPECT_EQ(diff.size(), static_cast<std::size_t>(kBits));
+}
+
+} // namespace
+} // namespace utrr

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/row_group.hh"
+
+namespace utrr
+{
+namespace
+{
+
+TEST(RowGroupLayout, ParseRR)
+{
+    const RowGroupLayout layout = RowGroupLayout::parse("R-R");
+    EXPECT_EQ(layout.profiledOffsets(), (std::vector<int>{0, 2}));
+    EXPECT_EQ(layout.gapOffsets(), (std::vector<int>{1}));
+    EXPECT_EQ(layout.span(), 3);
+    EXPECT_EQ(layout.profiledRows(), 2);
+    EXPECT_EQ(layout.text(), "R-R");
+}
+
+TEST(RowGroupLayout, ParseWide)
+{
+    const RowGroupLayout layout = RowGroupLayout::parse("RRR-RRR");
+    EXPECT_EQ(layout.profiledOffsets(),
+              (std::vector<int>{0, 1, 2, 4, 5, 6}));
+    EXPECT_EQ(layout.gapOffsets(), (std::vector<int>{3}));
+    EXPECT_EQ(layout.span(), 7);
+}
+
+TEST(RowGroupLayout, ParseSingle)
+{
+    const RowGroupLayout layout = RowGroupLayout::parse("R");
+    EXPECT_EQ(layout.profiledOffsets(), (std::vector<int>{0}));
+    EXPECT_TRUE(layout.gapOffsets().empty());
+    EXPECT_EQ(layout.span(), 1);
+}
+
+TEST(RowGroupLayout, ParseMultiGap)
+{
+    const RowGroupLayout layout = RowGroupLayout::parse("R--R");
+    EXPECT_EQ(layout.profiledOffsets(), (std::vector<int>{0, 3}));
+    EXPECT_EQ(layout.gapOffsets(), (std::vector<int>{1, 2}));
+}
+
+TEST(RowGroupLayout, LowercaseAccepted)
+{
+    const RowGroupLayout layout = RowGroupLayout::parse("r-r");
+    EXPECT_EQ(layout.profiledRows(), 2);
+}
+
+TEST(RowGroupLayout, BadCharacterIsFatal)
+{
+    EXPECT_DEATH(RowGroupLayout::parse("R-X"), "bad layout character");
+}
+
+TEST(RowGroupLayout, EmptyIsFatal)
+{
+    EXPECT_DEATH(RowGroupLayout::parse(""), "");
+}
+
+/** Parameterized sweep over layouts: offsets partition the span. */
+class LayoutProperty : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(LayoutProperty, OffsetsPartitionSpan)
+{
+    const RowGroupLayout layout = RowGroupLayout::parse(GetParam());
+    std::vector<int> all = layout.profiledOffsets();
+    for (int g : layout.gapOffsets())
+        all.push_back(g);
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(static_cast<int>(all.size()), layout.span());
+    for (int i = 0; i < layout.span(); ++i)
+        EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, LayoutProperty,
+                         ::testing::Values("R", "R-R", "RR", "RRR-RRR",
+                                           "R--R", "-R-", "R-R-R",
+                                           "RR--RR"));
+
+TEST(RowGroup, GapPhysRows)
+{
+    RowGroup group;
+    group.layout = RowGroupLayout::parse("R-R");
+    group.basePhysRow = 100;
+    EXPECT_EQ(group.gapPhysRows(), (std::vector<Row>{101}));
+
+    group.layout = RowGroupLayout::parse("RRR-RRR");
+    group.basePhysRow = 200;
+    EXPECT_EQ(group.gapPhysRows(), (std::vector<Row>{203}));
+}
+
+} // namespace
+} // namespace utrr

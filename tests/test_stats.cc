@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace utrr
+{
+namespace
+{
+
+TEST(BoxStats, EmptyInput)
+{
+    const BoxStats stats = BoxStats::compute({});
+    EXPECT_EQ(stats.count, 0u);
+    EXPECT_EQ(stats.median, 0.0);
+}
+
+TEST(BoxStats, SingleValue)
+{
+    const BoxStats stats = BoxStats::compute({5.0});
+    EXPECT_EQ(stats.count, 1u);
+    EXPECT_EQ(stats.min, 5.0);
+    EXPECT_EQ(stats.max, 5.0);
+    EXPECT_EQ(stats.median, 5.0);
+    EXPECT_EQ(stats.q1, 5.0);
+    EXPECT_EQ(stats.q3, 5.0);
+}
+
+TEST(BoxStats, PaperFootnote14Quartiles)
+{
+    // Quartiles are the medians of the sorted halves.
+    const BoxStats stats =
+        BoxStats::compute({1, 2, 3, 4, 5, 6, 7, 8});
+    EXPECT_EQ(stats.median, 4.5);
+    EXPECT_EQ(stats.q1, 2.5);
+    EXPECT_EQ(stats.q3, 6.5);
+}
+
+TEST(BoxStats, OddCountExcludesMedianFromHalves)
+{
+    const BoxStats stats = BoxStats::compute({1, 2, 3, 4, 5});
+    EXPECT_EQ(stats.median, 3.0);
+    EXPECT_EQ(stats.q1, 1.5);
+    EXPECT_EQ(stats.q3, 4.5);
+}
+
+TEST(BoxStats, OutliersBeyondWhiskers)
+{
+    std::vector<double> values = {1, 2, 3, 4, 5, 6, 7, 8};
+    values.push_back(100.0); // way beyond q3 + 1.5*IQR
+    const BoxStats stats = BoxStats::compute(values);
+    EXPECT_EQ(stats.outliers, 1u);
+    EXPECT_EQ(stats.max, 100.0);
+    EXPECT_LT(stats.whiskerHi, 100.0);
+}
+
+TEST(BoxStats, WhiskersClampToData)
+{
+    const BoxStats stats = BoxStats::compute({10, 11, 12, 13});
+    EXPECT_EQ(stats.whiskerLo, 10.0);
+    EXPECT_EQ(stats.whiskerHi, 13.0);
+    EXPECT_EQ(stats.outliers, 0u);
+}
+
+TEST(BoxStats, MeanComputed)
+{
+    const BoxStats stats = BoxStats::compute({2, 4, 6});
+    EXPECT_DOUBLE_EQ(stats.mean, 4.0);
+}
+
+TEST(Histogram, CountsAndTotal)
+{
+    Histogram hist;
+    hist.add(1);
+    hist.add(1);
+    hist.add(3, 5);
+    EXPECT_EQ(hist.countOf(1), 2u);
+    EXPECT_EQ(hist.countOf(2), 0u);
+    EXPECT_EQ(hist.countOf(3), 5u);
+    EXPECT_EQ(hist.total(), 7u);
+    EXPECT_EQ(hist.maxValue(), 3);
+}
+
+TEST(Histogram, EmptyMaxValue)
+{
+    Histogram hist;
+    EXPECT_EQ(hist.maxValue(), 0);
+    EXPECT_EQ(hist.total(), 0u);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> values = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(percentile(values, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 100), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 50), 25.0);
+}
+
+TEST(Mean, Basic)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+/** Property sweep: BoxStats bounds hold for arbitrary inputs. */
+class BoxStatsProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BoxStatsProperty, OrderingInvariants)
+{
+    const int seed = GetParam();
+    std::vector<double> values;
+    unsigned state = static_cast<unsigned>(seed) * 2654435761u + 1;
+    const int n = 1 + seed * 7 % 50;
+    for (int i = 0; i < n; ++i) {
+        state = state * 1664525u + 1013904223u;
+        values.push_back(static_cast<double>(state % 1000));
+    }
+    const BoxStats stats = BoxStats::compute(values);
+    EXPECT_LE(stats.min, stats.q1);
+    EXPECT_LE(stats.q1, stats.median);
+    EXPECT_LE(stats.median, stats.q3);
+    EXPECT_LE(stats.q3, stats.max);
+    EXPECT_LE(stats.whiskerLo, stats.whiskerHi);
+    EXPECT_GE(stats.whiskerLo, stats.min);
+    EXPECT_LE(stats.whiskerHi, stats.max);
+    EXPECT_EQ(stats.count, values.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxStatsProperty,
+                         ::testing::Range(1, 25));
+
+} // namespace
+} // namespace utrr

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace utrr
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table;
+    table.header({"a", "long-header", "c"});
+    table.addRow(1, 2, 3);
+    table.addRow("xx", "y", "zzz");
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    // Every row has the same separator positions.
+    std::istringstream lines(out);
+    std::string header;
+    std::string sep;
+    std::string row1;
+    std::string row2;
+    std::getline(lines, header);
+    std::getline(lines, sep);
+    std::getline(lines, row1);
+    std::getline(lines, row2);
+    EXPECT_EQ(header.find('|'), row1.find('|'));
+    EXPECT_EQ(row1.find('|'), row2.find('|'));
+    EXPECT_NE(header.find("long-header"), std::string::npos);
+}
+
+TEST(TextTable, TitlePrinted)
+{
+    TextTable table("My Title");
+    table.header({"x"});
+    table.addRow(1);
+    std::ostringstream oss;
+    table.print(oss);
+    EXPECT_NE(oss.str().find("== My Title =="), std::string::npos);
+}
+
+TEST(TextTable, RowsCounted)
+{
+    TextTable table;
+    EXPECT_EQ(table.rows(), 0u);
+    table.addRow(1, 2);
+    table.addRow(3, 4);
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, MixedCellTypes)
+{
+    TextTable table;
+    table.addRow(std::string("s"), "literal", 42, 3.5, -1);
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("literal"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("3.5"), std::string::npos);
+}
+
+TEST(FmtDouble, TrimsTrailingZeros)
+{
+    EXPECT_EQ(fmtDouble(1.0), "1");
+    EXPECT_EQ(fmtDouble(1.5), "1.5");
+    EXPECT_EQ(fmtDouble(1.25), "1.25");
+    EXPECT_EQ(fmtDouble(1.234, 2), "1.23");
+    EXPECT_EQ(fmtDouble(0.0), "0");
+}
+
+TEST(FmtPercent, Formats)
+{
+    EXPECT_EQ(fmtPercent(0.5), "50%");
+    EXPECT_EQ(fmtPercent(0.999), "99.9%");
+    EXPECT_EQ(fmtPercent(1.0), "100%");
+    EXPECT_EQ(fmtPercent(0.12345, 2), "12.35%");
+}
+
+} // namespace
+} // namespace utrr

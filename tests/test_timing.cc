@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "dram/timing.hh"
+
+namespace utrr
+{
+namespace
+{
+
+TEST(Timing, DefaultsMatchPaperFootnote10)
+{
+    // With 35 ns ACT, 15 ns PRE and 350 ns REF latencies, at most 149
+    // hammers fit between two REFs at the default refresh rate.
+    const Timing timing;
+    EXPECT_EQ(timing.tRAS, 35);
+    EXPECT_EQ(timing.tRP, 15);
+    EXPECT_EQ(timing.tRFC, 350);
+    EXPECT_EQ(timing.tREFI, 7'800);
+    EXPECT_EQ(timing.hammerCycle(), 50);
+    EXPECT_EQ(timing.hammersPerRefi(), 149);
+}
+
+TEST(Timing, RefsPerPeriod)
+{
+    const Timing timing;
+    // ~8K REFs per 64 ms refresh period (paper §6.1.3).
+    EXPECT_EQ(timing.refsPerPeriod(), 8'205);
+}
+
+TEST(Timing, CustomValuesPropagate)
+{
+    Timing timing;
+    timing.tRAS = 40;
+    timing.tRP = 10;
+    EXPECT_EQ(timing.hammerCycle(), 50);
+    timing.tREFI = 1'000;
+    timing.tRFC = 500;
+    EXPECT_EQ(timing.hammersPerRefi(), 10);
+}
+
+TEST(TimeConversions, MsToNsRoundTrip)
+{
+    EXPECT_EQ(msToNs(1.0), kNsPerMs);
+    EXPECT_EQ(msToNs(0.5), kNsPerMs / 2);
+    EXPECT_DOUBLE_EQ(nsToMs(msToNs(123.0)), 123.0);
+}
+
+} // namespace
+} // namespace utrr

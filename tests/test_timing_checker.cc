@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "softmc/timing_checker.hh"
+
+namespace utrr
+{
+namespace
+{
+
+Timing
+defaultTiming()
+{
+    return Timing{};
+}
+
+TEST(TimingChecker, LegalSequenceIsClean)
+{
+    TimingChecker checker(defaultTiming(), 2);
+    Time t = 0;
+    checker.onAct(0, 10, t);
+    t += 35; // tRAS
+    checker.onPre(0, t);
+    t += 15; // tRP
+    checker.onAct(0, 11, t);
+    t += 15; // tRCD
+    checker.onRead(0, t);
+    t += 20;
+    checker.onPre(0, t);
+    t += 15;
+    checker.onRef(t);
+    EXPECT_TRUE(checker.clean()) << checker.violations()[0].rule;
+}
+
+TEST(TimingChecker, ActToOpenBank)
+{
+    TimingChecker checker(defaultTiming(), 1);
+    checker.onAct(0, 1, 0);
+    checker.onAct(0, 2, 100);
+    ASSERT_FALSE(checker.clean());
+    EXPECT_EQ(checker.violations()[0].rule, "state");
+}
+
+TEST(TimingChecker, TrasViolation)
+{
+    TimingChecker checker(defaultTiming(), 1);
+    checker.onAct(0, 1, 0);
+    checker.onPre(0, 20); // < tRAS = 35
+    ASSERT_FALSE(checker.clean());
+    EXPECT_EQ(checker.violations()[0].rule, "tRAS");
+}
+
+TEST(TimingChecker, TrpViolation)
+{
+    TimingChecker checker(defaultTiming(), 1);
+    checker.onAct(0, 1, 0);
+    checker.onPre(0, 40);
+    checker.onAct(0, 2, 45); // 5 ns < tRP = 15
+    ASSERT_FALSE(checker.clean());
+    EXPECT_EQ(checker.violations()[0].rule, "tRP");
+}
+
+TEST(TimingChecker, TrcdViolation)
+{
+    TimingChecker checker(defaultTiming(), 1);
+    checker.onAct(0, 1, 0);
+    checker.onRead(0, 5); // < tRCD = 15
+    ASSERT_FALSE(checker.clean());
+    EXPECT_EQ(checker.violations()[0].rule, "tRCD");
+}
+
+TEST(TimingChecker, ReadClosedBank)
+{
+    TimingChecker checker(defaultTiming(), 1);
+    checker.onRead(0, 0);
+    ASSERT_FALSE(checker.clean());
+    EXPECT_EQ(checker.violations()[0].rule, "state");
+}
+
+TEST(TimingChecker, WriteClosedBank)
+{
+    TimingChecker checker(defaultTiming(), 1);
+    checker.onWrite(0, 0);
+    ASSERT_FALSE(checker.clean());
+}
+
+TEST(TimingChecker, FawViolation)
+{
+    Timing timing;
+    timing.tFAW = 1'000; // make the window easy to hit
+    TimingChecker checker(timing, 8);
+    // 4 ACTs in different banks, then a 5th within the window.
+    for (Bank b = 0; b < 4; ++b) {
+        checker.onAct(b, 1, 10 * b);
+        EXPECT_TRUE(checker.clean());
+    }
+    checker.onAct(4, 1, 50);
+    ASSERT_FALSE(checker.clean());
+    EXPECT_EQ(checker.violations()[0].rule, "tFAW");
+}
+
+TEST(TimingChecker, FawWindowSlides)
+{
+    Timing timing;
+    timing.tFAW = 100;
+    TimingChecker checker(timing, 8);
+    for (Bank b = 0; b < 4; ++b)
+        checker.onAct(b, 1, 20 * b); // 0, 20, 40, 60
+    checker.onAct(4, 1, 110);        // first ACT left the window
+    EXPECT_TRUE(checker.clean());
+}
+
+TEST(TimingChecker, RefWithOpenBank)
+{
+    TimingChecker checker(defaultTiming(), 2);
+    checker.onAct(1, 5, 0);
+    checker.onRef(100);
+    ASSERT_FALSE(checker.clean());
+    EXPECT_EQ(checker.violations()[0].rule, "state");
+}
+
+TEST(TimingChecker, ActDuringRefresh)
+{
+    TimingChecker checker(defaultTiming(), 1);
+    checker.onRef(0);
+    checker.onAct(0, 1, 100); // < tRFC = 350
+    ASSERT_FALSE(checker.clean());
+    EXPECT_EQ(checker.violations()[0].rule, "tRFC");
+}
+
+TEST(TimingChecker, ClearViolations)
+{
+    TimingChecker checker(defaultTiming(), 1);
+    checker.onRead(0, 0);
+    EXPECT_FALSE(checker.clean());
+    checker.clearViolations();
+    EXPECT_TRUE(checker.clean());
+}
+
+TEST(TimingChecker, HostCommandCostsAreLegal)
+{
+    // The SoftMC host's fixed per-command costs produce a legal
+    // stream for the hammer/write/read composites.
+    const Timing timing;
+    TimingChecker checker(timing, 2);
+    Time t = 0;
+    for (int i = 0; i < 10; ++i) {
+        checker.onAct(0, 7, t);
+        t += timing.tRAS;
+        checker.onPre(0, t);
+        t += timing.tRP;
+    }
+    checker.onAct(0, 8, t);
+    t += timing.tRCD;
+    checker.onWrite(0, t);
+    t += timing.tRAS - timing.tRCD;
+    checker.onPre(0, t);
+    EXPECT_TRUE(checker.clean());
+}
+
+} // namespace
+} // namespace utrr

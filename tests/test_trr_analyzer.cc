@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "core/row_scout.hh"
+#include "core/trr_analyzer.hh"
+#include "dram/module.hh"
+#include "softmc/host.hh"
+
+namespace utrr
+{
+namespace
+{
+
+ModuleSpec
+smallSpec(TrrVersion trr)
+{
+    ModuleSpec spec = *findModuleSpec("A5");
+    spec.trr = trr;
+    spec.rowsPerBank = 4 * 1024;
+    spec.banks = 1;
+    spec.remapsPerBank = 0;
+    spec.scramble = RowScramble::kSequential;
+    return spec;
+}
+
+struct AnalyzerFixture
+{
+    explicit AnalyzerFixture(TrrVersion trr, std::uint64_t seed = 41)
+        : module(smallSpec(trr), seed), host(module),
+          mapping(DiscoveredMapping::identity(module.spec().rowsPerBank)),
+          analyzer(host, mapping)
+    {
+    }
+
+    RowGroup
+    scoutOneGroup()
+    {
+        RowScoutConfig cfg;
+        cfg.rowEnd = 2'048;
+        cfg.layout = RowGroupLayout::parse("R-R");
+        cfg.groupCount = 1;
+        cfg.consistencyChecks = 15;
+        RowScout scout(host, mapping, cfg);
+        const auto groups = scout.scout();
+        EXPECT_FALSE(groups.empty());
+        return groups.front();
+    }
+
+    DramModule module;
+    SoftMcHost host;
+    DiscoveredMapping mapping;
+    TrrAnalyzer analyzer;
+};
+
+TEST(TrrAnalyzer, NoTrrMeansNoRefreshObserved)
+{
+    AnalyzerFixture fix(TrrVersion::kNone);
+    const RowGroup group = fix.scoutOneGroup();
+
+    TrrExperimentConfig cfg;
+    cfg.aggressors = {{group.gapPhysRows().front(), 3'000}};
+    cfg.reset = TrrResetMode::kNone;
+    for (int it = 0; it < 6; ++it) {
+        const auto result = fix.analyzer.runExperiment(group, cfg);
+        EXPECT_FALSE(result.anyRefreshed()) << "iteration " << it;
+        EXPECT_GT(result.flips[0], 0);
+        EXPECT_GT(result.flips[1], 0);
+    }
+}
+
+TEST(TrrAnalyzer, VendorATrrRefreshObservedPeriodically)
+{
+    AnalyzerFixture fix(TrrVersion::kATrr1);
+    const RowGroup group = fix.scoutOneGroup();
+
+    TrrExperimentConfig cfg;
+    cfg.aggressors = {{group.gapPhysRows().front(), 3'000}};
+    cfg.reset = TrrResetMode::kDummyHammer;
+    cfg.resetRefs = 256;
+
+    int refreshed = 0;
+    for (int it = 0; it < 20; ++it) {
+        TrrExperimentConfig iter_cfg = cfg;
+        iter_cfg.reset =
+            it == 0 ? TrrResetMode::kDummyHammer : TrrResetMode::kNone;
+        const auto result = fix.analyzer.runExperiment(group, iter_cfg);
+        refreshed += result.anyRefreshed() ? 1 : 0;
+    }
+    EXPECT_GE(refreshed, 1);
+    EXPECT_LE(refreshed, 4);
+}
+
+TEST(TrrAnalyzer, RefCountersReported)
+{
+    AnalyzerFixture fix(TrrVersion::kNone);
+    const RowGroup group = fix.scoutOneGroup();
+    TrrExperimentConfig cfg;
+    cfg.reset = TrrResetMode::kNone;
+    cfg.rounds = 3;
+    cfg.refsPerRound = 2;
+    const auto result = fix.analyzer.runExperiment(group, cfg);
+    EXPECT_EQ(result.refsAfter - result.refsBefore, 6u);
+}
+
+TEST(TrrAnalyzer, DummyRowsRespectDistance)
+{
+    AnalyzerFixture fix(TrrVersion::kNone);
+    const std::vector<Row> avoid = {500, 502, 501};
+    const auto dummies = fix.analyzer.pickDummyRows(0, avoid, 24);
+    ASSERT_EQ(dummies.size(), 24u);
+    for (Row dummy : dummies) {
+        const Row phys = fix.mapping.toPhysical(dummy);
+        for (Row avoided : avoid)
+            EXPECT_GE(std::abs(phys - avoided), 100);
+    }
+}
+
+TEST(TrrAnalyzer, ResetStateDrainsVendorATable)
+{
+    AnalyzerFixture fix(TrrVersion::kATrr1);
+    // Pollute the table with high counters.
+    for (int i = 0; i < 50'000; ++i) {
+        fix.host.act(0, 700);
+        fix.host.pre(0);
+    }
+    fix.analyzer.resetTrrState(0, {700}, 512, 32, 16);
+    // After the dance, a modest new aggressor must win TREF_a quickly:
+    // hammer and count TRR refreshes targeting its neighbours.
+    const std::uint64_t before = fix.module.trrRefreshCount();
+    for (int round = 0; round < 18; ++round) {
+        fix.host.hammer(0, 900, 2'000);
+        fix.host.ref();
+    }
+    EXPECT_GT(fix.module.trrRefreshCount(), before);
+}
+
+TEST(TrrAnalyzer, VerifyAdjacencyAcceptsTrueNeighbours)
+{
+    AnalyzerFixture fix(TrrVersion::kNone);
+    const RowGroup group = fix.scoutOneGroup();
+    const AggressorSpec aggr{group.gapPhysRows().front(), 0};
+    EXPECT_TRUE(fix.analyzer.verifyAdjacencyEscalating(group, {aggr}));
+}
+
+TEST(TrrAnalyzer, VerifyAdjacencyRejectsFarRows)
+{
+    AnalyzerFixture fix(TrrVersion::kNone);
+    const RowGroup group = fix.scoutOneGroup();
+    // An aggressor 500 rows away cannot hammer the profiled rows.
+    AggressorSpec far{group.basePhysRow + 500, 0};
+    EXPECT_FALSE(fix.analyzer.verifyAdjacency(group, {far}, 400'000));
+}
+
+TEST(TrrAnalyzer, MultiGroupExperimentReadsAllGroups)
+{
+    AnalyzerFixture fix(TrrVersion::kNone);
+    RowScoutConfig cfg;
+    cfg.rowEnd = 2'048;
+    cfg.layout = RowGroupLayout::parse("R-R");
+    cfg.groupCount = 3;
+    cfg.consistencyChecks = 15;
+    RowScout scout(fix.host, fix.mapping, cfg);
+    const auto groups = scout.scout();
+    ASSERT_EQ(groups.size(), 3u);
+
+    TrrExperimentConfig exp_cfg;
+    exp_cfg.reset = TrrResetMode::kNone;
+    const TrrMultiResult result =
+        fix.analyzer.runExperimentMulti(groups, exp_cfg);
+    ASSERT_EQ(result.perGroup.size(), 3u);
+    for (std::size_t g = 0; g < 3; ++g) {
+        EXPECT_EQ(result.perGroup[g].flips.size(), 2u);
+        // No hammering, no REFs: pure retention failure everywhere.
+        EXPECT_FALSE(result.groupRefreshed(g));
+    }
+}
+
+TEST(TrrAnalyzer, RefreshedMaskEncoding)
+{
+    TrrExperimentResult result;
+    result.refreshed = {true, false, true};
+    EXPECT_EQ(result.refreshedMask(), 0b101u);
+    EXPECT_TRUE(result.anyRefreshed());
+    result.refreshed = {false, false};
+    EXPECT_EQ(result.refreshedMask(), 0u);
+    EXPECT_FALSE(result.anyRefreshed());
+}
+
+} // namespace
+} // namespace utrr
