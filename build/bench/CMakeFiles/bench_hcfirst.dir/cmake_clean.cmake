@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hcfirst.dir/bench_hcfirst.cc.o"
+  "CMakeFiles/bench_hcfirst.dir/bench_hcfirst.cc.o.d"
+  "bench_hcfirst"
+  "bench_hcfirst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hcfirst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

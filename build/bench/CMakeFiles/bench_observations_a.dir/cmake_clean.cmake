@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_observations_a.dir/bench_observations_a.cc.o"
+  "CMakeFiles/bench_observations_a.dir/bench_observations_a.cc.o.d"
+  "bench_observations_a"
+  "bench_observations_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_observations_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

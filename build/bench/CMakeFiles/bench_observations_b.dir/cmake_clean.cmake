@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_observations_b.dir/bench_observations_b.cc.o"
+  "CMakeFiles/bench_observations_b.dir/bench_observations_b.cc.o.d"
+  "bench_observations_b"
+  "bench_observations_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_observations_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

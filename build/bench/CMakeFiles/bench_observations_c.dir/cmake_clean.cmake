@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_observations_c.dir/bench_observations_c.cc.o"
+  "CMakeFiles/bench_observations_c.dir/bench_observations_c.cc.o.d"
+  "bench_observations_c"
+  "bench_observations_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_observations_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rowscout.dir/bench_rowscout.cc.o"
+  "CMakeFiles/bench_rowscout.dir/bench_rowscout.cc.o.d"
+  "bench_rowscout"
+  "bench_rowscout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rowscout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

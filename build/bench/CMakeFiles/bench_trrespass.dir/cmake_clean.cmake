@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trrespass.dir/bench_trrespass.cc.o"
+  "CMakeFiles/bench_trrespass.dir/bench_trrespass.cc.o.d"
+  "bench_trrespass"
+  "bench_trrespass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trrespass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craft_attack.dir/craft_attack.cc.o"
+  "CMakeFiles/craft_attack.dir/craft_attack.cc.o.d"
+  "craft_attack"
+  "craft_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craft_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_study.dir/ecc_study.cc.o"
+  "CMakeFiles/ecc_study.dir/ecc_study.cc.o.d"
+  "ecc_study"
+  "ecc_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retention_map.dir/retention_map.cc.o"
+  "CMakeFiles/retention_map.dir/retention_map.cc.o.d"
+  "retention_map"
+  "retention_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retention_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmc_repl.dir/softmc_repl.cc.o"
+  "CMakeFiles/softmc_repl.dir/softmc_repl.cc.o.d"
+  "softmc_repl"
+  "softmc_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmc_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utrr_attack.dir/evaluator.cc.o"
+  "CMakeFiles/utrr_attack.dir/evaluator.cc.o.d"
+  "CMakeFiles/utrr_attack.dir/pattern.cc.o"
+  "CMakeFiles/utrr_attack.dir/pattern.cc.o.d"
+  "CMakeFiles/utrr_attack.dir/sweep.cc.o"
+  "CMakeFiles/utrr_attack.dir/sweep.cc.o.d"
+  "CMakeFiles/utrr_attack.dir/trrespass.cc.o"
+  "CMakeFiles/utrr_attack.dir/trrespass.cc.o.d"
+  "libutrr_attack.a"
+  "libutrr_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utrr_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

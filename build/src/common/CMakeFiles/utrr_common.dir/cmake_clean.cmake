@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utrr_common.dir/logging.cc.o"
+  "CMakeFiles/utrr_common.dir/logging.cc.o.d"
+  "CMakeFiles/utrr_common.dir/rng.cc.o"
+  "CMakeFiles/utrr_common.dir/rng.cc.o.d"
+  "CMakeFiles/utrr_common.dir/stats.cc.o"
+  "CMakeFiles/utrr_common.dir/stats.cc.o.d"
+  "CMakeFiles/utrr_common.dir/table.cc.o"
+  "CMakeFiles/utrr_common.dir/table.cc.o.d"
+  "libutrr_common.a"
+  "libutrr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utrr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libutrr_common.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/mapping_reveng.cc" "src/core/CMakeFiles/utrr_core.dir/mapping_reveng.cc.o" "gcc" "src/core/CMakeFiles/utrr_core.dir/mapping_reveng.cc.o.d"
+  "/root/repo/src/core/retention_profiler.cc" "src/core/CMakeFiles/utrr_core.dir/retention_profiler.cc.o" "gcc" "src/core/CMakeFiles/utrr_core.dir/retention_profiler.cc.o.d"
+  "/root/repo/src/core/reveng.cc" "src/core/CMakeFiles/utrr_core.dir/reveng.cc.o" "gcc" "src/core/CMakeFiles/utrr_core.dir/reveng.cc.o.d"
+  "/root/repo/src/core/row_group.cc" "src/core/CMakeFiles/utrr_core.dir/row_group.cc.o" "gcc" "src/core/CMakeFiles/utrr_core.dir/row_group.cc.o.d"
+  "/root/repo/src/core/row_scout.cc" "src/core/CMakeFiles/utrr_core.dir/row_scout.cc.o" "gcc" "src/core/CMakeFiles/utrr_core.dir/row_scout.cc.o.d"
+  "/root/repo/src/core/trr_analyzer.cc" "src/core/CMakeFiles/utrr_core.dir/trr_analyzer.cc.o" "gcc" "src/core/CMakeFiles/utrr_core.dir/trr_analyzer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/softmc/CMakeFiles/utrr_softmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/utrr_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trr/CMakeFiles/utrr_trr.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigation/CMakeFiles/utrr_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/utrr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

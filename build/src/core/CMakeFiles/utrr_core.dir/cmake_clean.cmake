@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utrr_core.dir/mapping_reveng.cc.o"
+  "CMakeFiles/utrr_core.dir/mapping_reveng.cc.o.d"
+  "CMakeFiles/utrr_core.dir/retention_profiler.cc.o"
+  "CMakeFiles/utrr_core.dir/retention_profiler.cc.o.d"
+  "CMakeFiles/utrr_core.dir/reveng.cc.o"
+  "CMakeFiles/utrr_core.dir/reveng.cc.o.d"
+  "CMakeFiles/utrr_core.dir/row_group.cc.o"
+  "CMakeFiles/utrr_core.dir/row_group.cc.o.d"
+  "CMakeFiles/utrr_core.dir/row_scout.cc.o"
+  "CMakeFiles/utrr_core.dir/row_scout.cc.o.d"
+  "CMakeFiles/utrr_core.dir/trr_analyzer.cc.o"
+  "CMakeFiles/utrr_core.dir/trr_analyzer.cc.o.d"
+  "libutrr_core.a"
+  "libutrr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utrr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/bank.cc" "src/dram/CMakeFiles/utrr_dram.dir/bank.cc.o" "gcc" "src/dram/CMakeFiles/utrr_dram.dir/bank.cc.o.d"
+  "/root/repo/src/dram/data_pattern.cc" "src/dram/CMakeFiles/utrr_dram.dir/data_pattern.cc.o" "gcc" "src/dram/CMakeFiles/utrr_dram.dir/data_pattern.cc.o.d"
+  "/root/repo/src/dram/mapping.cc" "src/dram/CMakeFiles/utrr_dram.dir/mapping.cc.o" "gcc" "src/dram/CMakeFiles/utrr_dram.dir/mapping.cc.o.d"
+  "/root/repo/src/dram/module.cc" "src/dram/CMakeFiles/utrr_dram.dir/module.cc.o" "gcc" "src/dram/CMakeFiles/utrr_dram.dir/module.cc.o.d"
+  "/root/repo/src/dram/module_spec.cc" "src/dram/CMakeFiles/utrr_dram.dir/module_spec.cc.o" "gcc" "src/dram/CMakeFiles/utrr_dram.dir/module_spec.cc.o.d"
+  "/root/repo/src/dram/physics.cc" "src/dram/CMakeFiles/utrr_dram.dir/physics.cc.o" "gcc" "src/dram/CMakeFiles/utrr_dram.dir/physics.cc.o.d"
+  "/root/repo/src/dram/refresh_engine.cc" "src/dram/CMakeFiles/utrr_dram.dir/refresh_engine.cc.o" "gcc" "src/dram/CMakeFiles/utrr_dram.dir/refresh_engine.cc.o.d"
+  "/root/repo/src/dram/row.cc" "src/dram/CMakeFiles/utrr_dram.dir/row.cc.o" "gcc" "src/dram/CMakeFiles/utrr_dram.dir/row.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/utrr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trr/CMakeFiles/utrr_trr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utrr_dram.dir/bank.cc.o"
+  "CMakeFiles/utrr_dram.dir/bank.cc.o.d"
+  "CMakeFiles/utrr_dram.dir/data_pattern.cc.o"
+  "CMakeFiles/utrr_dram.dir/data_pattern.cc.o.d"
+  "CMakeFiles/utrr_dram.dir/mapping.cc.o"
+  "CMakeFiles/utrr_dram.dir/mapping.cc.o.d"
+  "CMakeFiles/utrr_dram.dir/module.cc.o"
+  "CMakeFiles/utrr_dram.dir/module.cc.o.d"
+  "CMakeFiles/utrr_dram.dir/module_spec.cc.o"
+  "CMakeFiles/utrr_dram.dir/module_spec.cc.o.d"
+  "CMakeFiles/utrr_dram.dir/physics.cc.o"
+  "CMakeFiles/utrr_dram.dir/physics.cc.o.d"
+  "CMakeFiles/utrr_dram.dir/refresh_engine.cc.o"
+  "CMakeFiles/utrr_dram.dir/refresh_engine.cc.o.d"
+  "CMakeFiles/utrr_dram.dir/row.cc.o"
+  "CMakeFiles/utrr_dram.dir/row.cc.o.d"
+  "libutrr_dram.a"
+  "libutrr_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utrr_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

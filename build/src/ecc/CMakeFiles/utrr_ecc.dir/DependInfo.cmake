@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/chipkill.cc" "src/ecc/CMakeFiles/utrr_ecc.dir/chipkill.cc.o" "gcc" "src/ecc/CMakeFiles/utrr_ecc.dir/chipkill.cc.o.d"
+  "/root/repo/src/ecc/ecc_analysis.cc" "src/ecc/CMakeFiles/utrr_ecc.dir/ecc_analysis.cc.o" "gcc" "src/ecc/CMakeFiles/utrr_ecc.dir/ecc_analysis.cc.o.d"
+  "/root/repo/src/ecc/galois.cc" "src/ecc/CMakeFiles/utrr_ecc.dir/galois.cc.o" "gcc" "src/ecc/CMakeFiles/utrr_ecc.dir/galois.cc.o.d"
+  "/root/repo/src/ecc/reed_solomon.cc" "src/ecc/CMakeFiles/utrr_ecc.dir/reed_solomon.cc.o" "gcc" "src/ecc/CMakeFiles/utrr_ecc.dir/reed_solomon.cc.o.d"
+  "/root/repo/src/ecc/secded.cc" "src/ecc/CMakeFiles/utrr_ecc.dir/secded.cc.o" "gcc" "src/ecc/CMakeFiles/utrr_ecc.dir/secded.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/utrr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utrr_ecc.dir/chipkill.cc.o"
+  "CMakeFiles/utrr_ecc.dir/chipkill.cc.o.d"
+  "CMakeFiles/utrr_ecc.dir/ecc_analysis.cc.o"
+  "CMakeFiles/utrr_ecc.dir/ecc_analysis.cc.o.d"
+  "CMakeFiles/utrr_ecc.dir/galois.cc.o"
+  "CMakeFiles/utrr_ecc.dir/galois.cc.o.d"
+  "CMakeFiles/utrr_ecc.dir/reed_solomon.cc.o"
+  "CMakeFiles/utrr_ecc.dir/reed_solomon.cc.o.d"
+  "CMakeFiles/utrr_ecc.dir/secded.cc.o"
+  "CMakeFiles/utrr_ecc.dir/secded.cc.o.d"
+  "libutrr_ecc.a"
+  "libutrr_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utrr_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

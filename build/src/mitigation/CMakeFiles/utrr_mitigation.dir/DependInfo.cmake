@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mitigation/blockhammer.cc" "src/mitigation/CMakeFiles/utrr_mitigation.dir/blockhammer.cc.o" "gcc" "src/mitigation/CMakeFiles/utrr_mitigation.dir/blockhammer.cc.o.d"
+  "/root/repo/src/mitigation/graphene.cc" "src/mitigation/CMakeFiles/utrr_mitigation.dir/graphene.cc.o" "gcc" "src/mitigation/CMakeFiles/utrr_mitigation.dir/graphene.cc.o.d"
+  "/root/repo/src/mitigation/para.cc" "src/mitigation/CMakeFiles/utrr_mitigation.dir/para.cc.o" "gcc" "src/mitigation/CMakeFiles/utrr_mitigation.dir/para.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/utrr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

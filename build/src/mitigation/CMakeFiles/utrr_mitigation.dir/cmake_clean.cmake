@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utrr_mitigation.dir/blockhammer.cc.o"
+  "CMakeFiles/utrr_mitigation.dir/blockhammer.cc.o.d"
+  "CMakeFiles/utrr_mitigation.dir/graphene.cc.o"
+  "CMakeFiles/utrr_mitigation.dir/graphene.cc.o.d"
+  "CMakeFiles/utrr_mitigation.dir/para.cc.o"
+  "CMakeFiles/utrr_mitigation.dir/para.cc.o.d"
+  "libutrr_mitigation.a"
+  "libutrr_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utrr_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/softmc/assembler.cc" "src/softmc/CMakeFiles/utrr_softmc.dir/assembler.cc.o" "gcc" "src/softmc/CMakeFiles/utrr_softmc.dir/assembler.cc.o.d"
+  "/root/repo/src/softmc/command.cc" "src/softmc/CMakeFiles/utrr_softmc.dir/command.cc.o" "gcc" "src/softmc/CMakeFiles/utrr_softmc.dir/command.cc.o.d"
+  "/root/repo/src/softmc/host.cc" "src/softmc/CMakeFiles/utrr_softmc.dir/host.cc.o" "gcc" "src/softmc/CMakeFiles/utrr_softmc.dir/host.cc.o.d"
+  "/root/repo/src/softmc/timing_checker.cc" "src/softmc/CMakeFiles/utrr_softmc.dir/timing_checker.cc.o" "gcc" "src/softmc/CMakeFiles/utrr_softmc.dir/timing_checker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/utrr_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigation/CMakeFiles/utrr_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/trr/CMakeFiles/utrr_trr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/utrr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

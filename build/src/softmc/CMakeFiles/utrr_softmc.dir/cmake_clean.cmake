@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utrr_softmc.dir/assembler.cc.o"
+  "CMakeFiles/utrr_softmc.dir/assembler.cc.o.d"
+  "CMakeFiles/utrr_softmc.dir/command.cc.o"
+  "CMakeFiles/utrr_softmc.dir/command.cc.o.d"
+  "CMakeFiles/utrr_softmc.dir/host.cc.o"
+  "CMakeFiles/utrr_softmc.dir/host.cc.o.d"
+  "CMakeFiles/utrr_softmc.dir/timing_checker.cc.o"
+  "CMakeFiles/utrr_softmc.dir/timing_checker.cc.o.d"
+  "libutrr_softmc.a"
+  "libutrr_softmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utrr_softmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

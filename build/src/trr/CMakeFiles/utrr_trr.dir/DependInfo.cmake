@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trr/trr.cc" "src/trr/CMakeFiles/utrr_trr.dir/trr.cc.o" "gcc" "src/trr/CMakeFiles/utrr_trr.dir/trr.cc.o.d"
+  "/root/repo/src/trr/vendor_a.cc" "src/trr/CMakeFiles/utrr_trr.dir/vendor_a.cc.o" "gcc" "src/trr/CMakeFiles/utrr_trr.dir/vendor_a.cc.o.d"
+  "/root/repo/src/trr/vendor_b.cc" "src/trr/CMakeFiles/utrr_trr.dir/vendor_b.cc.o" "gcc" "src/trr/CMakeFiles/utrr_trr.dir/vendor_b.cc.o.d"
+  "/root/repo/src/trr/vendor_c.cc" "src/trr/CMakeFiles/utrr_trr.dir/vendor_c.cc.o" "gcc" "src/trr/CMakeFiles/utrr_trr.dir/vendor_c.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/utrr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

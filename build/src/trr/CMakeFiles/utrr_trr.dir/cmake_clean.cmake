@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utrr_trr.dir/trr.cc.o"
+  "CMakeFiles/utrr_trr.dir/trr.cc.o.d"
+  "CMakeFiles/utrr_trr.dir/vendor_a.cc.o"
+  "CMakeFiles/utrr_trr.dir/vendor_a.cc.o.d"
+  "CMakeFiles/utrr_trr.dir/vendor_b.cc.o"
+  "CMakeFiles/utrr_trr.dir/vendor_b.cc.o.d"
+  "CMakeFiles/utrr_trr.dir/vendor_c.cc.o"
+  "CMakeFiles/utrr_trr.dir/vendor_c.cc.o.d"
+  "libutrr_trr.a"
+  "libutrr_trr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utrr_trr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_all_modules.dir/test_all_modules.cc.o"
+  "CMakeFiles/test_all_modules.dir/test_all_modules.cc.o.d"
+  "test_all_modules"
+  "test_all_modules.pdb"
+  "test_all_modules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_all_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

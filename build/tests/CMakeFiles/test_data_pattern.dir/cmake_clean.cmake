@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_pattern.dir/test_data_pattern.cc.o"
+  "CMakeFiles/test_data_pattern.dir/test_data_pattern.cc.o.d"
+  "test_data_pattern"
+  "test_data_pattern.pdb"
+  "test_data_pattern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

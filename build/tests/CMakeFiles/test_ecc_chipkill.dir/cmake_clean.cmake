@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc_chipkill.dir/test_ecc_chipkill.cc.o"
+  "CMakeFiles/test_ecc_chipkill.dir/test_ecc_chipkill.cc.o.d"
+  "test_ecc_chipkill"
+  "test_ecc_chipkill.pdb"
+  "test_ecc_chipkill[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc_chipkill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

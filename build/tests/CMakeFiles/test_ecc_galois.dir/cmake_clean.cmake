@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc_galois.dir/test_ecc_galois.cc.o"
+  "CMakeFiles/test_ecc_galois.dir/test_ecc_galois.cc.o.d"
+  "test_ecc_galois"
+  "test_ecc_galois.pdb"
+  "test_ecc_galois[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc_galois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc_ondie.dir/test_ecc_ondie.cc.o"
+  "CMakeFiles/test_ecc_ondie.dir/test_ecc_ondie.cc.o.d"
+  "test_ecc_ondie"
+  "test_ecc_ondie.pdb"
+  "test_ecc_ondie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc_ondie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

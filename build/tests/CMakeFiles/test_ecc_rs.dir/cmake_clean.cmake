@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc_rs.dir/test_ecc_rs.cc.o"
+  "CMakeFiles/test_ecc_rs.dir/test_ecc_rs.cc.o.d"
+  "test_ecc_rs"
+  "test_ecc_rs.pdb"
+  "test_ecc_rs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc_secded.dir/test_ecc_secded.cc.o"
+  "CMakeFiles/test_ecc_secded.dir/test_ecc_secded.cc.o.d"
+  "test_ecc_secded"
+  "test_ecc_secded.pdb"
+  "test_ecc_secded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc_secded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

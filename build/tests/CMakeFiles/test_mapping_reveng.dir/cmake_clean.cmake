@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapping_reveng.dir/test_mapping_reveng.cc.o"
+  "CMakeFiles/test_mapping_reveng.dir/test_mapping_reveng.cc.o.d"
+  "test_mapping_reveng"
+  "test_mapping_reveng.pdb"
+  "test_mapping_reveng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapping_reveng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_module_spec.cc" "tests/CMakeFiles/test_module_spec.dir/test_module_spec.cc.o" "gcc" "tests/CMakeFiles/test_module_spec.dir/test_module_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/utrr_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/utrr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/utrr_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigation/CMakeFiles/utrr_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/softmc/CMakeFiles/utrr_softmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/utrr_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trr/CMakeFiles/utrr_trr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/utrr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

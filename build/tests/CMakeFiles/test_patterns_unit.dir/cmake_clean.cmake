@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patterns_unit.dir/test_patterns_unit.cc.o"
+  "CMakeFiles/test_patterns_unit.dir/test_patterns_unit.cc.o.d"
+  "test_patterns_unit"
+  "test_patterns_unit.pdb"
+  "test_patterns_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patterns_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

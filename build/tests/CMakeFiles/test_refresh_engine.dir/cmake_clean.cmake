@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refresh_engine.dir/test_refresh_engine.cc.o"
+  "CMakeFiles/test_refresh_engine.dir/test_refresh_engine.cc.o.d"
+  "test_refresh_engine"
+  "test_refresh_engine.pdb"
+  "test_refresh_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refresh_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_row_group.dir/test_row_group.cc.o"
+  "CMakeFiles/test_row_group.dir/test_row_group.cc.o.d"
+  "test_row_group"
+  "test_row_group.pdb"
+  "test_row_group[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_row_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_row_scout.dir/test_row_scout.cc.o"
+  "CMakeFiles/test_row_scout.dir/test_row_scout.cc.o.d"
+  "test_row_scout"
+  "test_row_scout.pdb"
+  "test_row_scout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_row_scout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

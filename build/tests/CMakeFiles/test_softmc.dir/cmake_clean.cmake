@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softmc.dir/test_softmc.cc.o"
+  "CMakeFiles/test_softmc.dir/test_softmc.cc.o.d"
+  "test_softmc"
+  "test_softmc.pdb"
+  "test_softmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

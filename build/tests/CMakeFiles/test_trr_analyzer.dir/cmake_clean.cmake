@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trr_analyzer.dir/test_trr_analyzer.cc.o"
+  "CMakeFiles/test_trr_analyzer.dir/test_trr_analyzer.cc.o.d"
+  "test_trr_analyzer"
+  "test_trr_analyzer.pdb"
+  "test_trr_analyzer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trr_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trr_vendor_a.dir/test_trr_vendor_a.cc.o"
+  "CMakeFiles/test_trr_vendor_a.dir/test_trr_vendor_a.cc.o.d"
+  "test_trr_vendor_a"
+  "test_trr_vendor_a.pdb"
+  "test_trr_vendor_a[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trr_vendor_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trr_vendor_b.dir/test_trr_vendor_b.cc.o"
+  "CMakeFiles/test_trr_vendor_b.dir/test_trr_vendor_b.cc.o.d"
+  "test_trr_vendor_b"
+  "test_trr_vendor_b.pdb"
+  "test_trr_vendor_b[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trr_vendor_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

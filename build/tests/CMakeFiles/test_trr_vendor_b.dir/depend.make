@@ -1,0 +1,2 @@
+# Empty dependencies file for test_trr_vendor_b.
+# This may be replaced when dependencies are built.

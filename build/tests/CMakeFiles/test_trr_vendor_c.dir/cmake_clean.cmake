@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trr_vendor_c.dir/test_trr_vendor_c.cc.o"
+  "CMakeFiles/test_trr_vendor_c.dir/test_trr_vendor_c.cc.o.d"
+  "test_trr_vendor_c"
+  "test_trr_vendor_c.pdb"
+  "test_trr_vendor_c[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trr_vendor_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
