@@ -31,7 +31,7 @@ baselineComparison(const BenchArgs &args)
     table.header({"Module", "single-sided", "double-sided", "9-sided",
                   "19-sided", "U-TRR custom"});
 
-    for (const std::string &name : {"A5", "B8", "C9"}) {
+    for (const std::string name : {"A5", "B8", "C9"}) {
         const ModuleSpec spec = *findModuleSpec(name);
         DramModule module(spec, args.seed);
         SoftMcHost host(module);

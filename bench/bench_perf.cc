@@ -3,6 +3,9 @@
  * Simulator micro-benchmarks (google-benchmark): command throughput of
  * the substrate. These gate the wall-clock cost of the experiment
  * harnesses (a full Fig. 9 sweep issues hundreds of millions of ACTs).
+ *
+ * Results also land in BENCH_perf.json (via the metrics registry) so
+ * runs can be diffed mechanically.
  */
 
 #include <benchmark/benchmark.h>
@@ -10,6 +13,7 @@
 #include "attack/sweep.hh"
 #include "core/row_scout.hh"
 #include "dram/module.hh"
+#include "obs/report.hh"
 #include "softmc/host.hh"
 
 namespace
@@ -115,6 +119,60 @@ BM_AttackPosition(benchmark::State &state)
 }
 BENCHMARK(BM_AttackPosition);
 
+/**
+ * Console reporter that additionally captures every run into a metrics
+ * registry: "<benchmark>.real_ns" / ".items_per_second" gauges and
+ * "<benchmark>.iterations" counters.
+ */
+class RegistryReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit RegistryReporter(MetricsRegistry &registry)
+        : registry(registry)
+    {
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        ConsoleReporter::ReportRuns(runs);
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            const std::string name = run.benchmark_name();
+            registry.gauge(name + ".real_ns")
+                .set(run.GetAdjustedRealTime());
+            registry.counter(name + ".iterations")
+                .inc(static_cast<std::uint64_t>(run.iterations));
+            const auto items = run.counters.find("items_per_second");
+            if (items != run.counters.end()) {
+                registry.gauge(name + ".items_per_second")
+                    .set(items->second);
+            }
+        }
+    }
+
+  private:
+    MetricsRegistry &registry;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    MetricsRegistry registry;
+    RegistryReporter reporter(registry);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    ExperimentReport report("bench_perf");
+    report.attachMetrics(registry);
+    report.writeFile("BENCH_perf.json");
+
+    benchmark::Shutdown();
+    return 0;
+}

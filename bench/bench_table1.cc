@@ -84,7 +84,7 @@ main(int argc, char **argv)
         const TrrTraits truth = spec.traits();
         table.addRow(
             spec.name, spec.date, spec.chipDensityGbit, spec.banks,
-            std::string("x") + std::to_string(spec.pins),
+            logFmt("x", spec.pins),
             trrVersionName(spec.trr),
             logFmt("1/", row.period), logFmt("1/", truth.trrToRefPeriod),
             row.neighbours, truth.neighborsRefreshed,

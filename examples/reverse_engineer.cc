@@ -3,7 +3,12 @@
  * Full TRR reverse-engineering session on one module (default A5),
  * narrating each discovery the way §6 of the paper does.
  *
- * Usage: reverse_engineer [MODULE] [--fast]
+ * Usage: reverse_engineer [MODULE] [--fast] [--trace FILE]
+ *
+ * With --trace, every DDR command of the session is recorded (bounded
+ * ring buffer) and written as Chrome trace_event JSON — open the file
+ * in chrome://tracing or https://ui.perfetto.dev to see the hammer
+ * rounds, REF bursts and retention waits on a timeline.
  *
  * Everything here is black-box: the program only issues DDR commands
  * and reads data back; the TRR implementation inside the simulated
@@ -11,6 +16,7 @@
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "common/logging.hh"
@@ -27,11 +33,17 @@ main(int argc, char **argv)
     setLogLevel(LogLevel::kWarn);
     std::string name = "A5";
     bool fast = false;
+    std::string trace_path;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--fast") == 0)
+        if (std::strcmp(argv[i], "--fast") == 0) {
             fast = true;
-        else
+        } else if (std::strcmp(argv[i], "--trace") == 0) {
+            if (i + 1 >= argc)
+                fatal("--trace needs a file argument");
+            trace_path = argv[++i];
+        } else {
             name = argv[i];
+        }
     }
 
     const auto spec_opt = findModuleSpec(name);
@@ -41,6 +53,8 @@ main(int argc, char **argv)
     const ModuleSpec spec = *spec_opt;
     DramModule module(spec, 2021);
     SoftMcHost host(module);
+    if (!trace_path.empty())
+        host.trace().enable(64 * 1024);
 
     std::cout << "== U-TRR reverse engineering of module " << spec.name
               << " (" << spec.banks << " banks, "
@@ -120,5 +134,19 @@ main(int argc, char **argv)
         break;
     }
     std::cout << "\nSummary: " << profile.summary() << "\n";
+
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out) {
+            warn("cannot write trace file " + trace_path);
+        } else {
+            host.trace().exportChromeTrace(out);
+            std::cout << "\nWrote the last " << host.trace().size()
+                      << " DDR commands (of "
+                      << host.trace().recorded()
+                      << " recorded) as a Chrome trace to " << trace_path
+                      << "\n";
+        }
+    }
     return 0;
 }

@@ -95,7 +95,7 @@ namespace
 
 double
 hammersPerAggrPerRef(const CustomPatternParams &params,
-                     const Timing &timing)
+                     const Timing & /*timing*/)
 {
     switch (params.vendor) {
       case 'A':

@@ -80,8 +80,8 @@ TrrespassFuzzer::fuzz()
             result.bestFlips = flips;
             result.best = shape;
         }
-        debug(logFmt("fuzz attempt ", attempt, " (",
-                     shape.describe(), "): ", flips, " flips"));
+        UTRR_DEBUG("fuzz attempt ", attempt, " (", shape.describe(),
+                   "): ", flips, " flips");
     }
     return result;
 }

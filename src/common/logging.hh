@@ -62,6 +62,18 @@ logFmt(Args &&...args)
     return oss.str();
 }
 
+/**
+ * Lazy debug logging: the arguments are only formatted when the global
+ * verbosity actually admits debug output, so hot paths can log freely
+ * without paying for string building on every call.
+ * Example: UTRR_DEBUG("row ", row, " failed after ", ms, " ms").
+ */
+#define UTRR_DEBUG(...)                                                     \
+    do {                                                                    \
+        if (::utrr::logLevel() >= ::utrr::LogLevel::kDebug)                 \
+            ::utrr::debug(::utrr::logFmt(__VA_ARGS__));                     \
+    } while (false)
+
 /** Assert a simulator invariant; panics with location info on failure. */
 #define UTRR_ASSERT(cond, msg)                                              \
     do {                                                                    \

@@ -156,7 +156,7 @@ MappingReveng::discover()
     double best_score = -1.0;
     for (RowScramble scheme : kSchemes) {
         const double score = scoreScheme(scheme, results);
-        debug(logFmt("scheme ", scrambleName(scheme), " score ", score));
+        UTRR_DEBUG("scheme ", scrambleName(scheme), " score ", score);
         if (score > best_score) {
             best_score = score;
             best = scheme;

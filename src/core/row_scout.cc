@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.hh"
+#include "obs/timer.hh"
 
 namespace utrr
 {
@@ -22,6 +23,8 @@ RowScout::scanFailingRows(Time t)
 {
     // Batch profiling pass: initialize every row in the range, let the
     // whole range decay for t with refresh disabled, then read back.
+    ScopedTimer timer(host.attachedMetrics(), "row_scout.scan");
+    SimPhase phase(&host.trace(), "rs_scan", [this] { return host.now(); });
     for (Row r = cfg.rowStart; r < cfg.rowEnd; ++r)
         host.writeRow(cfg.bank, r, cfg.pattern);
     host.wait(t);
@@ -39,6 +42,7 @@ RowScout::scanFailingRows(Time t)
 bool
 RowScout::validateRetention(Row logical_row, Time t, int checks)
 {
+    ScopedTimer timer(host.attachedMetrics(), "row_scout.validate");
     for (int i = 0; i < checks; ++i) {
         ++validations;
         // Hold check: the row must retain its data strictly longer
@@ -130,8 +134,11 @@ RowScout::scout()
     std::map<Row, Time> first_fail;
     std::vector<RowGroup> best;
 
+    ScopedTimer timer(host.attachedMetrics(), "row_scout.scout");
+    SimPhase phase(&host.trace(), "row_scout",
+                   [this] { return host.now(); });
     for (Time t = cfg.initialT; t <= cfg.maxT; t += cfg.stepT) {
-        debug(logFmt("row scout: scanning at T = ", nsToMs(t), " ms"));
+        UTRR_DEBUG("row scout: scanning at T = ", nsToMs(t), " ms");
         const std::map<Row, int> failing = scanFailingRows(t);
         for (const auto &[row, flips] : failing) {
             if (!first_fail.count(row))
@@ -157,8 +164,8 @@ RowScout::scout()
                 if (!validateRetention(row.logicalRow, t,
                                        cfg.consistencyChecks)) {
                     consistent = false;
-                    debug(logFmt("row ", row.logicalRow,
-                                 " failed consistency (VRT?)"));
+                    UTRR_DEBUG("row ", row.logicalRow,
+                               " failed consistency (VRT?)");
                     break;
                 }
             }
@@ -178,6 +185,44 @@ RowScout::scout()
                 cfg.groupCount, " requested groups (layout ",
                 cfg.layout.text(), ")"));
     return best;
+}
+
+ExperimentReport
+RowScout::makeReport(const std::vector<RowGroup> &groups) const
+{
+    ExperimentReport report("row_scout");
+    report.setConfig("bank", Json(static_cast<std::int64_t>(cfg.bank)));
+    report.setConfig("row_start",
+                     Json(static_cast<std::int64_t>(cfg.rowStart)));
+    report.setConfig("row_end",
+                     Json(static_cast<std::int64_t>(cfg.rowEnd)));
+    report.setConfig("layout", Json(cfg.layout.text()));
+    report.setConfig("group_count",
+                     Json(static_cast<std::int64_t>(cfg.groupCount)));
+    report.setConfig(
+        "consistency_checks",
+        Json(static_cast<std::int64_t>(cfg.consistencyChecks)));
+    report.setSeed(host.module().seed());
+
+    Json found = Json::array();
+    for (const RowGroup &group : groups) {
+        Json entry = Json::object();
+        entry["base_phys_row"] =
+            Json(static_cast<std::int64_t>(group.basePhysRow));
+        entry["retention_ns"] =
+            Json(static_cast<std::int64_t>(group.retention));
+        Json rows = Json::array();
+        for (const ProfiledRow &row : group.rows)
+            rows.push(Json(static_cast<std::int64_t>(row.physRow)));
+        entry["profiled_phys_rows"] = std::move(rows);
+        found.push(std::move(entry));
+    }
+    report.setResult("groups", std::move(found));
+    report.setResult("groups_found",
+                     Json(static_cast<std::uint64_t>(groups.size())));
+    report.setResult("validations_run",
+                     Json(static_cast<std::uint64_t>(validations)));
+    return report;
 }
 
 } // namespace utrr

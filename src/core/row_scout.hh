@@ -28,6 +28,7 @@
 #include "core/mapping_reveng.hh"
 #include "core/row_group.hh"
 #include "dram/data_pattern.hh"
+#include "obs/report.hh"
 #include "softmc/host.hh"
 
 namespace utrr
@@ -91,6 +92,13 @@ class RowScout
 
     /** Number of consistency validations performed so far. */
     std::uint64_t validationsRun() const { return validations; }
+
+    /**
+     * Build a structured report of a finished scout: profiling config,
+     * groups found (base rows, layout, shared retention T) and the
+     * validation effort spent.
+     */
+    ExperimentReport makeReport(const std::vector<RowGroup> &groups) const;
 
   private:
     std::vector<RowGroup> formCandidateGroups(

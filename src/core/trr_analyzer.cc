@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/timer.hh"
 
 namespace utrr
 {
@@ -127,6 +128,11 @@ TrrAnalyzer::runExperimentMulti(const std::vector<RowGroup> &groups,
     const Bank bank = groups.front().bank;
     const Time retention = groups.front().retention;
 
+    ScopedTimer timer(host.attachedMetrics(), "trr_analyzer.experiment");
+    const auto sim_now = [this] { return host.now(); };
+    const Time sim_begin = host.now();
+    SimPhase experiment_phase(&host.trace(), "trr_experiment", sim_now);
+
     std::vector<Row> avoid;
     for (const RowGroup &group : groups) {
         UTRR_ASSERT(group.bank == bank,
@@ -141,31 +147,37 @@ TrrAnalyzer::runExperimentMulti(const std::vector<RowGroup> &groups,
 
     // Step 0 (optional): reset TRR internal state (Requirement 4).
     if (config.reset == TrrResetMode::kDummyHammer) {
+        SimPhase phase(&host.trace(), "trr_reset", sim_now);
         resetTrrState(bank, avoid, config.resetRefs, config.resetDummies,
                       config.resetHammersPerRefi);
     }
 
     // Step 1: initialize aggressor and victim rows.
-    auto init_aggressors = [&] {
-        if (config.skipAggressorInit)
-            return;
-        for (const AggressorSpec &aggr : config.aggressors) {
-            host.writeRow(bank, mapping.toLogical(aggr.physRow),
-                          config.aggressorPattern);
+    {
+        SimPhase phase(&host.trace(), "init_rows", sim_now);
+        auto init_aggressors = [&] {
+            if (config.skipAggressorInit)
+                return;
+            for (const AggressorSpec &aggr : config.aggressors) {
+                host.writeRow(bank, mapping.toLogical(aggr.physRow),
+                              config.aggressorPattern);
+            }
+        };
+        auto init_victims = [&] {
+            for (const RowGroup &group : groups) {
+                for (const ProfiledRow &row : group.rows) {
+                    host.writeRow(bank, row.logicalRow,
+                                  config.victimPattern);
+                }
+            }
+        };
+        if (config.initAggressorsFirst) {
+            init_aggressors();
+            init_victims();
+        } else {
+            init_victims();
+            init_aggressors();
         }
-    };
-    auto init_victims = [&] {
-        for (const RowGroup &group : groups) {
-            for (const ProfiledRow &row : group.rows)
-                host.writeRow(bank, row.logicalRow, config.victimPattern);
-        }
-    };
-    if (config.initAggressorsFirst) {
-        init_aggressors();
-        init_victims();
-    } else {
-        init_victims();
-        init_aggressors();
     }
 
     // Step 2: let the victims decay for T/2.
@@ -190,18 +202,23 @@ TrrAnalyzer::runExperimentMulti(const std::vector<RowGroup> &groups,
 
     TrrMultiResult multi;
     multi.refsBefore = host.refCommandCount();
-    for (int round = 0; round < config.rounds; ++round) {
-        if (config.dummiesFirst)
-            hammer_dummies();
-        if (!aggr_rows.empty()) {
-            if (config.mode == HammerMode::kInterleaved)
-                host.hammerInterleaved(aggr_rows, aggr_counts);
-            else
-                host.hammerCascaded(aggr_rows, aggr_counts);
+    {
+        SimPhase phase(&host.trace(), "hammer_rounds", sim_now);
+        for (int round = 0; round < config.rounds; ++round) {
+            if (config.dummiesFirst)
+                hammer_dummies();
+            if (!aggr_rows.empty()) {
+                if (config.mode == HammerMode::kInterleaved)
+                    host.hammerInterleaved(aggr_rows, aggr_counts);
+                else
+                    host.hammerCascaded(aggr_rows, aggr_counts);
+            }
+            if (!config.dummiesFirst)
+                hammer_dummies();
+            host.refBurst(config.refsPerRound);
+            multi.rounds.push_back({host.refCommandCount(),
+                                    host.actCount(), host.now()});
         }
-        if (!config.dummiesFirst)
-            hammer_dummies();
-        host.refBurst(config.refsPerRound);
     }
     multi.refsAfter = host.refCommandCount();
 
@@ -209,21 +226,90 @@ TrrAnalyzer::runExperimentMulti(const std::vector<RowGroup> &groups,
     host.wait(retention / 2);
 
     // Step 5: read the victims back.
-    for (const RowGroup &group : groups) {
-        TrrExperimentResult result;
-        result.refsBefore = multi.refsBefore;
-        result.refsAfter = multi.refsAfter;
-        for (const ProfiledRow &row : group.rows) {
-            const RowReadout readout =
-                host.readRow(bank, row.logicalRow);
-            const int flips = readout.countFlipsVs(config.victimPattern,
-                                                   row.logicalRow);
-            result.flips.push_back(flips);
-            result.refreshed.push_back(flips == 0);
+    {
+        SimPhase phase(&host.trace(), "readback", sim_now);
+        for (const RowGroup &group : groups) {
+            TrrExperimentResult result;
+            result.refsBefore = multi.refsBefore;
+            result.refsAfter = multi.refsAfter;
+            for (const ProfiledRow &row : group.rows) {
+                const RowReadout readout =
+                    host.readRow(bank, row.logicalRow);
+                const int flips = readout.countFlipsVs(
+                    config.victimPattern, row.logicalRow);
+                result.flips.push_back(flips);
+                result.refreshed.push_back(flips == 0);
+            }
+            multi.perGroup.push_back(std::move(result));
         }
-        multi.perGroup.push_back(std::move(result));
     }
+    multi.simNs = host.now() - sim_begin;
+    multi.wallMs = timer.elapsedUs() / 1'000.0;
     return multi;
+}
+
+ExperimentReport
+TrrAnalyzer::makeReport(const TrrExperimentConfig &config,
+                        const TrrMultiResult &result) const
+{
+    ExperimentReport report("trr_analyzer");
+
+    Json aggressors = Json::array();
+    for (const AggressorSpec &aggr : config.aggressors) {
+        Json entry = Json::object();
+        entry["phys_row"] = Json(static_cast<std::int64_t>(aggr.physRow));
+        entry["hammers"] = Json(static_cast<std::int64_t>(aggr.hammers));
+        aggressors.push(std::move(entry));
+    }
+    report.setConfig("aggressors", std::move(aggressors));
+    report.setConfig("hammer_mode",
+                     Json(config.mode == HammerMode::kInterleaved
+                              ? "interleaved"
+                              : "cascaded"));
+    report.setConfig("rounds",
+                     Json(static_cast<std::int64_t>(config.rounds)));
+    report.setConfig("refs_per_round",
+                     Json(static_cast<std::int64_t>(config.refsPerRound)));
+    report.setConfig("dummy_rows",
+                     Json(static_cast<std::int64_t>(config.dummyRowCount)));
+    report.setConfig(
+        "reset",
+        Json(config.reset == TrrResetMode::kDummyHammer ? "dummy_hammer"
+                                                        : "none"));
+    report.setSeed(host.module().seed());
+
+    for (const RoundRecord &round : result.rounds) {
+        Json entry = Json::object();
+        entry["refs_after"] =
+            Json(static_cast<std::uint64_t>(round.refsAfter));
+        entry["acts_after"] =
+            Json(static_cast<std::uint64_t>(round.actsAfter));
+        entry["sim_after_ns"] =
+            Json(static_cast<std::int64_t>(round.simAfter));
+        report.addRound(std::move(entry));
+    }
+
+    Json groups = Json::array();
+    for (const TrrExperimentResult &group : result.perGroup) {
+        Json entry = Json::object();
+        Json flips = Json::array();
+        for (int f : group.flips)
+            flips.push(Json(static_cast<std::int64_t>(f)));
+        Json refreshed = Json::array();
+        for (bool r : group.refreshed)
+            refreshed.push(Json(r));
+        entry["flips"] = std::move(flips);
+        entry["refreshed"] = std::move(refreshed);
+        entry["any_refreshed"] = Json(group.anyRefreshed());
+        groups.push(std::move(entry));
+    }
+    report.setResult("groups", std::move(groups));
+    report.setResult("refs_before",
+                     Json(static_cast<std::uint64_t>(result.refsBefore)));
+    report.setResult("refs_after",
+                     Json(static_cast<std::uint64_t>(result.refsAfter)));
+    report.setTiming(result.wallMs, result.simNs);
+    return report;
 }
 
 bool

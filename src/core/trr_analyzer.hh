@@ -29,6 +29,7 @@
 #include "core/mapping_reveng.hh"
 #include "core/row_group.hh"
 #include "dram/data_pattern.hh"
+#include "obs/report.hh"
 #include "softmc/host.hh"
 
 namespace utrr
@@ -117,6 +118,17 @@ struct TrrExperimentResult
     std::uint64_t refreshedMask() const;
 };
 
+/** Cumulative command counts sampled at the end of one hammer round. */
+struct RoundRecord
+{
+    /** Host REF-command count after this round's REF burst. */
+    std::uint64_t refsAfter = 0;
+    /** Host ACT count after this round's hammering. */
+    std::uint64_t actsAfter = 0;
+    /** Simulated time after this round (ns). */
+    Time simAfter = 0;
+};
+
 /** Outcome of an experiment spanning several row groups at once. */
 struct TrrMultiResult
 {
@@ -124,6 +136,12 @@ struct TrrMultiResult
     std::vector<TrrExperimentResult> perGroup;
     std::uint64_t refsBefore = 0;
     std::uint64_t refsAfter = 0;
+    /** One record per hammer round, in round order. */
+    std::vector<RoundRecord> rounds;
+    /** Wall-clock time of the experiment (ms). */
+    double wallMs = 0.0;
+    /** Simulated time the experiment occupied (ns). */
+    Time simNs = 0;
 
     /** True if any row of group @p g was refreshed. */
     bool groupRefreshed(std::size_t g) const
@@ -188,6 +206,15 @@ class TrrAnalyzer
                                    int count) const;
 
     const DiscoveredMapping &discoveredMapping() const { return mapping; }
+
+    /**
+     * Build a structured report from a finished experiment: config
+     * (aggressors, mode, rounds, REFs per round), per-round command
+     * counts, per-group flip/refresh vectors, module seed and timing.
+     * Attach a metrics snapshot yourself if one is wanted.
+     */
+    ExperimentReport makeReport(const TrrExperimentConfig &config,
+                                const TrrMultiResult &result) const;
 
   private:
     std::vector<Row> avoidListOf(

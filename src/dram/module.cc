@@ -1,5 +1,7 @@
 #include "dram/module.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace utrr
@@ -8,7 +10,8 @@ namespace utrr
 DramModule::DramModule(ModuleSpec spec, std::uint64_t seed,
                        const RetentionModelConfig *retention_overrides)
     : moduleSpec(std::move(spec)),
-      engine(moduleSpec.physRowsPerBank(), moduleSpec.refreshPeriodRefs)
+      engine(moduleSpec.physRowsPerBank(), moduleSpec.refreshPeriodRefs),
+      masterSeed(seed)
 {
     RetentionModelConfig ret_cfg;
     if (retention_overrides != nullptr)
@@ -35,6 +38,9 @@ DramModule::DramModule(ModuleSpec spec, std::uint64_t seed,
 
     trr = makeTrr(moduleSpec.trr, moduleSpec.banks,
                   hashMix(seed ^ 0x7272ULL));
+    trr->attachGroundTruth(&gtStore);
+    gtTrrEvents = &gtStore.counter("chip.trr_events");
+    gtTrrVictims = &gtStore.counter("chip.trr_victim_refreshes");
 }
 
 DramBank &
@@ -80,6 +86,10 @@ DramModule::act(Bank bank, Row logical_row, Time now)
     bankAt(bank).activate(phys, now);
     openLogical[static_cast<std::size_t>(bank)] = logical_row;
     trr->onActivate(bank, phys);
+    if (ctrActs != nullptr) {
+        ctrActs->inc();
+        ctrBankActs[static_cast<std::size_t>(bank)]->inc();
+    }
 }
 
 void
@@ -106,7 +116,10 @@ DramModule::wrWord(Bank bank, int word_idx, std::uint64_t value)
 RowReadout
 DramModule::rd(Bank bank) const
 {
-    return bankAt(bank).readOpenRow();
+    RowReadout readout = bankAt(bank).readOpenRow();
+    if (ctrReadFlipBits != nullptr)
+        ctrReadFlipBits->inc(readout.rawFlips().size());
+    return readout;
 }
 
 std::vector<Row>
@@ -147,12 +160,54 @@ DramModule::ref(Time now)
     // TRR-induced refresh piggybacking on this REF (footnote 3).
     for (const TrrRefreshAction &action : trr->onRefresh()) {
         DramBank &bank = bankAt(action.bank);
+        gtTrrEvents->inc();
         for (Row victim : victimRowsOf(action.aggressorPhysRow)) {
             if (victim < 0 || victim >= moduleSpec.physRowsPerBank())
                 continue;
             bank.refreshRow(victim, now);
             ++trrRefreshes;
+            gtTrrVictims->inc();
+            gtVictimCounter(action.bank, victim).inc();
         }
+    }
+    if (ctrRefs != nullptr)
+        ctrRefs->inc();
+}
+
+Counter &
+DramModule::gtVictimCounter(Bank bank, Row phys_row)
+{
+    const auto key = std::make_pair(bank, phys_row);
+    auto it = gtVictimCounters.find(key);
+    if (it == gtVictimCounters.end()) {
+        std::ostringstream name;
+        name << "chip.trr_victim_refresh.b" << bank << ".r" << phys_row;
+        it = gtVictimCounters.emplace(key, &gtStore.counter(name.str()))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+DramModule::attachMetrics(MetricsRegistry *registry)
+{
+    metrics = registry;
+    engine.attachMetrics(registry);
+    if (registry == nullptr) {
+        ctrActs = nullptr;
+        ctrRefs = nullptr;
+        ctrReadFlipBits = nullptr;
+        ctrBankActs.clear();
+        return;
+    }
+    ctrActs = &registry->counter("dram.acts");
+    ctrRefs = &registry->counter("dram.refs");
+    ctrReadFlipBits = &registry->counter("dram.read_flip_bits");
+    ctrBankActs.clear();
+    for (Bank b = 0; b < moduleSpec.banks; ++b) {
+        std::ostringstream name;
+        name << "dram.acts.bank" << b;
+        ctrBankActs.push_back(&registry->counter(name.str()));
     }
 }
 

@@ -17,7 +17,9 @@
 #ifndef UTRR_DRAM_MODULE_HH
 #define UTRR_DRAM_MODULE_HH
 
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -26,6 +28,7 @@
 #include "dram/module_spec.hh"
 #include "dram/physics.hh"
 #include "dram/refresh_engine.hh"
+#include "obs/metrics.hh"
 #include "trr/trr.hh"
 
 namespace utrr
@@ -65,6 +68,9 @@ class DramModule
 
     const ModuleSpec &spec() const { return moduleSpec; }
 
+    /** Master seed the module was built with (for experiment reports). */
+    std::uint64_t seed() const { return masterSeed; }
+
     /** Logical<->physical translation for one bank. */
     Row toPhysical(Bank bank, Row logical_row) const;
     Row toLogical(Bank bank, Row phys_row) const;
@@ -100,8 +106,34 @@ class DramModule
     /** TRR-induced row refreshes performed so far (ground truth). */
     std::uint64_t trrRefreshCount() const { return trrRefreshes; }
 
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /**
+     * Attach a metrics registry (not owned; nullptr detaches). The
+     * module records controller-observable metrics: total and per-bank
+     * ACTs, REFs, rows swept by regular refresh, and flipped bits seen
+     * by RD bursts.
+     */
+    void attachMetrics(MetricsRegistry *registry);
+
+    /**
+     * Counted read-side handle onto the chip's ground truth (TRR
+     * detections, table/sampler occupancy, per-row TRR-induced victim
+     * refreshes as "chip.trr_victim_refresh.b<bank>.r<phys>").
+     */
+    GroundTruthProbe groundTruthProbe() const
+    {
+        return GroundTruthProbe(gtStore);
+    }
+
+    /** Ground-truth reads so far; 0 proves a black-box run. */
+    std::uint64_t groundTruthPeeks() const { return gtStore.peekCount(); }
+
   private:
     std::vector<Row> victimRowsOf(Row aggressor_phys) const;
+    Counter &gtVictimCounter(Bank bank, Row phys_row);
 
     ModuleSpec moduleSpec;
     std::unique_ptr<PhysicsGenerator> gen;
@@ -112,6 +144,20 @@ class DramModule
     std::unique_ptr<TrrMechanism> trr;
     std::uint64_t refs = 0;
     std::uint64_t trrRefreshes = 0;
+    std::uint64_t masterSeed = 0;
+
+    GroundTruthStore gtStore;
+    Counter *gtTrrEvents = nullptr;
+    Counter *gtTrrVictims = nullptr;
+    /** Per-(bank, victim row) counters, cached to avoid name building
+     *  on the REF path. */
+    std::map<std::pair<Bank, Row>, Counter *> gtVictimCounters;
+
+    MetricsRegistry *metrics = nullptr;
+    Counter *ctrActs = nullptr;
+    Counter *ctrRefs = nullptr;
+    Counter *ctrReadFlipBits = nullptr;
+    std::vector<Counter *> ctrBankActs;
 };
 
 } // namespace utrr

@@ -71,7 +71,7 @@ buildSpecs()
     const double a15_flips[] = {2.32, 2.9, 3.5, 4.1, 4.73};
     for (int i = 0; i < 5; ++i) {
         specs.push_back(withPaper(
-            base("A" + std::to_string(1 + i), 'A', "19-36", 8, 1, 8, 16,
+            base(logFmt("A", 1 + i), 'A', "19-36", 8, 1, 8, 16,
                  a15_hc[i], TrrVersion::kATrr1),
             a15_vuln[i], a15_flips[i]));
     }
@@ -95,7 +95,7 @@ buildSpecs()
     const double a1012_flips[] = {2.86, 2.2, 1.48};
     for (int i = 0; i < 3; ++i) {
         specs.push_back(withPaper(
-            base("A" + std::to_string(10 + i), 'A', "19-51", 8, 1, 16, 8,
+            base(logFmt("A", 10 + i), 'A', "19-51", 8, 1, 16, 8,
                  a1012_hc[i], TrrVersion::kATrr1),
             74.8, a1012_flips[i]));
     }
@@ -119,7 +119,7 @@ buildSpecs()
     const double b14_flips[] = {0.11, 0.09, 0.07, 0.06};
     for (int i = 0; i < 4; ++i) {
         specs.push_back(withPaper(
-            base("B" + std::to_string(1 + i), 'B', "20-17", 4, 1, 16, 8,
+            base(logFmt("B", 1 + i), 'B', "20-17", 4, 1, 16, 8,
                  b14_hc[i], TrrVersion::kBTrr1),
             b14_vuln[i], b14_flips[i]));
     }
@@ -143,7 +143,7 @@ buildSpecs()
     const double b912_flips[] = {24.26, 21.5, 19.0, 16.83};
     for (int i = 0; i < 4; ++i) {
         specs.push_back(withPaper(
-            base("B" + std::to_string(9 + i), 'B', "19-48", 8, 1, 16, 8,
+            base(logFmt("B", 9 + i), 'B', "19-48", 8, 1, 16, 8,
                  b912_hc[i], TrrVersion::kBTrr2),
             37.5, b912_flips[i]));
     }
@@ -162,7 +162,7 @@ buildSpecs()
     const double c03_flips[] = {0.15, 0.12, 0.08, 0.05};
     for (int i = 0; i < 4; ++i) {
         specs.push_back(withPaper(
-            base("C" + std::to_string(i), 'C', "16-48", 4, 1, 16, 8,
+            base(logFmt("C", i), 'C', "16-48", 4, 1, 16, 8,
                  c03_hc[i], TrrVersion::kCTrr1),
             c03_vuln[i], c03_flips[i]));
     }
@@ -171,7 +171,7 @@ buildSpecs()
     const double c46_flips[] = {0.08, 0.07, 0.06};
     for (int i = 0; i < 3; ++i) {
         specs.push_back(withPaper(
-            base("C" + std::to_string(4 + i), 'C', "17-12", 8, 1, 16, 8,
+            base(logFmt("C", 4 + i), 'C', "17-12", 8, 1, 16, 8,
                  c46_hc[i], TrrVersion::kCTrr1),
             c46_vuln[i], c46_flips[i]));
     }
@@ -187,7 +187,7 @@ buildSpecs()
     const double c911_flips[] = {32.04, 20.0, 9.30};
     for (int i = 0; i < 3; ++i) {
         specs.push_back(withPaper(
-            base("C" + std::to_string(9 + i), 'C', "20-31", 8, 1, 8, 16,
+            base(logFmt("C", 9 + i), 'C', "20-31", 8, 1, 8, 16,
                  c911_hc[i], TrrVersion::kCTrr2),
             99.7, c911_flips[i]));
     }
@@ -195,7 +195,7 @@ buildSpecs()
     const double c1214_flips[] = {12.64, 8.5, 4.91};
     for (int i = 0; i < 3; ++i) {
         specs.push_back(withPaper(
-            base("C" + std::to_string(12 + i), 'C', "20-46", 16, 1, 8, 16,
+            base(logFmt("C", 12 + i), 'C', "20-46", 16, 1, 8, 16,
                  c1214_hc[i], TrrVersion::kCTrr3),
             99.9, c1214_flips[i]));
     }

@@ -26,6 +26,11 @@ RefreshEngine::onRefresh()
     ++refs;
     position = end >= physRows ? 0 : end;
 
+    if (ctrRowsRefreshed != nullptr && end > begin)
+        ctrRowsRefreshed->inc(static_cast<std::uint64_t>(end - begin));
+    if (ctrSweeps != nullptr && refs % static_cast<std::uint64_t>(period) == 0)
+        ctrSweeps->inc();
+
     std::vector<std::pair<Row, Row>> ranges;
     if (end > begin)
         ranges.emplace_back(begin, end);
@@ -57,6 +62,18 @@ RefreshEngine::reset()
 {
     refs = 0;
     position = 0;
+}
+
+void
+RefreshEngine::attachMetrics(MetricsRegistry *registry)
+{
+    if (registry == nullptr) {
+        ctrRowsRefreshed = nullptr;
+        ctrSweeps = nullptr;
+        return;
+    }
+    ctrRowsRefreshed = &registry->counter("dram.rows_regular_refreshed");
+    ctrSweeps = &registry->counter("dram.refresh_sweeps");
 }
 
 } // namespace utrr

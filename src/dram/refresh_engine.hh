@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/metrics.hh"
 
 namespace utrr
 {
@@ -58,11 +59,20 @@ class RefreshEngine
     /** Restart the sweep from row 0 (testing convenience). */
     void reset();
 
+    /**
+     * Attach a metrics registry (not owned; nullptr detaches). Records
+     * rows swept ("dram.rows_regular_refreshed") and completed sweeps
+     * ("dram.refresh_sweeps").
+     */
+    void attachMetrics(MetricsRegistry *registry);
+
   private:
     Row physRows;
     int period;
     std::uint64_t refs = 0;
     Row position = 0;
+    Counter *ctrRowsRefreshed = nullptr;
+    Counter *ctrSweeps = nullptr;
 };
 
 } // namespace utrr

@@ -63,7 +63,7 @@ class ControllerMitigation
                                         Time now) = 0;
 
     /** Consulted on every REF the host issues (window bookkeeping). */
-    virtual void onRefresh(Time now) {}
+    virtual void onRefresh(Time /*now*/) {}
 
     /** Clear all state. */
     virtual void reset() = 0;

@@ -1,0 +1,99 @@
+#include "obs/metrics.hh"
+
+namespace utrr
+{
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    return counterMap[name];
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return gaugeMap[name];
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    return histogramMap[name];
+}
+
+const Counter *
+MetricsRegistry::findCounter(const std::string &name) const
+{
+    const auto it = counterMap.find(name);
+    return it == counterMap.end() ? nullptr : &it->second;
+}
+
+const Gauge *
+MetricsRegistry::findGauge(const std::string &name) const
+{
+    const auto it = gaugeMap.find(name);
+    return it == gaugeMap.end() ? nullptr : &it->second;
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &name) const
+{
+    const auto it = histogramMap.find(name);
+    return it == histogramMap.end() ? nullptr : &it->second;
+}
+
+void
+MetricsRegistry::clear()
+{
+    counterMap.clear();
+    gaugeMap.clear();
+    histogramMap.clear();
+}
+
+Json
+MetricsRegistry::toJson() const
+{
+    Json root = Json::object();
+    Json &counters = root["counters"];
+    counters = Json::object();
+    for (const auto &[name, c] : counterMap)
+        counters[name] = Json(c.value);
+    Json &gauges = root["gauges"];
+    gauges = Json::object();
+    for (const auto &[name, g] : gaugeMap)
+        gauges[name] = Json(g.value);
+    Json &histograms = root["histograms"];
+    histograms = Json::object();
+    for (const auto &[name, h] : histogramMap) {
+        Json bins = Json::object();
+        for (const auto &[value, count] : h.bins())
+            bins[std::to_string(value)] = Json(count);
+        histograms[name] = std::move(bins);
+    }
+    return root;
+}
+
+std::uint64_t
+GroundTruthProbe::counter(const std::string &name) const
+{
+    ++store->peeks;
+    const Counter *c = store->inner.findCounter(name);
+    return c == nullptr ? 0 : c->value;
+}
+
+double
+GroundTruthProbe::gauge(const std::string &name) const
+{
+    ++store->peeks;
+    const Gauge *g = store->inner.findGauge(name);
+    return g == nullptr ? 0.0 : g->value;
+}
+
+Json
+GroundTruthProbe::snapshot() const
+{
+    ++store->peeks;
+    return store->inner.toJson();
+}
+
+} // namespace utrr

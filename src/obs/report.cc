@@ -1,0 +1,69 @@
+#include "obs/report.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace utrr
+{
+
+ExperimentReport::ExperimentReport(const std::string &name)
+{
+    root = Json::object();
+    root["report"] = Json(name);
+    root["config"] = Json::object();
+    root["rounds"] = Json::array();
+    root["results"] = Json::object();
+    root["timing"] = Json::object();
+}
+
+void
+ExperimentReport::setConfig(const std::string &key, Json value)
+{
+    root["config"][key] = std::move(value);
+}
+
+void
+ExperimentReport::setSeed(std::uint64_t seed)
+{
+    setConfig("seed", Json(seed));
+}
+
+void
+ExperimentReport::addRound(Json round)
+{
+    root["rounds"].push(std::move(round));
+}
+
+void
+ExperimentReport::setResult(const std::string &key, Json value)
+{
+    root["results"][key] = std::move(value);
+}
+
+void
+ExperimentReport::setTiming(double wall_ms, Time sim_ns)
+{
+    Json &timing = root["timing"];
+    timing["wall_ms"] = Json(wall_ms);
+    timing["sim_ns"] = Json(static_cast<std::int64_t>(sim_ns));
+}
+
+void
+ExperimentReport::attachMetrics(const MetricsRegistry &registry)
+{
+    root["metrics"] = registry.toJson();
+}
+
+void
+ExperimentReport::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn(logFmt("cannot write report to ", path));
+        return;
+    }
+    out << dump() << "\n";
+}
+
+} // namespace utrr

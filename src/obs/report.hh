@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Structured experiment reports: a conventional JSON shape shared by
+ * the TRR Analyzer, Row Scout and the bench harnesses so every run
+ * leaves a machine-readable artifact (config + RNG seed + per-round
+ * data + results + wall/sim time + a metrics snapshot).
+ *
+ * Shape:
+ *   {
+ *     "report": "<name>",
+ *     "config":  { ... },            // experiment configuration
+ *     "rounds":  [ {...}, ... ],     // per-round vectors (optional)
+ *     "results": { ... },            // outcome summary
+ *     "timing":  { "wall_ms": w, "sim_ns": s },
+ *     "metrics": { counters/gauges/histograms }   // optional snapshot
+ *   }
+ */
+
+#ifndef UTRR_OBS_REPORT_HH
+#define UTRR_OBS_REPORT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+
+namespace utrr
+{
+
+/**
+ * Builder for one experiment report.
+ */
+class ExperimentReport
+{
+  public:
+    explicit ExperimentReport(const std::string &name);
+
+    /** Record a configuration key (any Json-convertible scalar). */
+    void setConfig(const std::string &key, Json value);
+
+    /** Record the master RNG seed of the run (config section). */
+    void setSeed(std::uint64_t seed);
+
+    /** Append one per-round record. */
+    void addRound(Json round);
+
+    /** Record a result key. */
+    void setResult(const std::string &key, Json value);
+
+    /** Record wall-clock and simulated duration. */
+    void setTiming(double wall_ms, Time sim_ns);
+
+    /** Attach a metrics snapshot. */
+    void attachMetrics(const MetricsRegistry &registry);
+
+    /** Direct access for nested structures. */
+    Json &config() { return root["config"]; }
+    Json &results() { return root["results"]; }
+
+    const Json &json() const { return root; }
+
+    /** Serialize (pretty-printed). */
+    std::string dump() const { return root.dump(1); }
+
+    /** Write to a file; warns (no throw) when the file cannot open. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    Json root;
+};
+
+} // namespace utrr
+
+#endif // UTRR_OBS_REPORT_HH

@@ -1,0 +1,175 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.hh"
+
+namespace utrr
+{
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::kAct:
+        return "ACT";
+      case TraceKind::kPre:
+        return "PRE";
+      case TraceKind::kWr:
+        return "WR";
+      case TraceKind::kRd:
+        return "RD";
+      case TraceKind::kRef:
+        return "REF";
+      case TraceKind::kWait:
+        return "WAIT";
+      case TraceKind::kPhaseBegin:
+        return "PHASE_BEGIN";
+      case TraceKind::kPhaseEnd:
+        return "PHASE_END";
+    }
+    return "?";
+}
+
+void
+CommandTrace::enable(std::size_t capacity)
+{
+    cap = capacity;
+    ring.assign(cap, TraceEvent{});
+    head = 0;
+    count = 0;
+    total = 0;
+}
+
+void
+CommandTrace::disable()
+{
+    cap = 0;
+    ring.clear();
+    ring.shrink_to_fit();
+    head = 0;
+    count = 0;
+    total = 0;
+}
+
+void
+CommandTrace::clear()
+{
+    head = 0;
+    count = 0;
+    total = 0;
+}
+
+const char *
+CommandTrace::intern(const std::string &name)
+{
+    for (const std::string &known : phaseNames) {
+        if (known == name)
+            return known.c_str();
+    }
+    phaseNames.push_back(name);
+    return phaseNames.back().c_str();
+}
+
+void
+CommandTrace::beginPhase(const std::string &name, Time now)
+{
+    if (cap == 0)
+        return;
+    TraceEvent &slot = ring[head];
+    slot = TraceEvent{TraceKind::kPhaseBegin, 0, kInvalidRow, now, 0,
+                      intern(name)};
+    advance();
+}
+
+void
+CommandTrace::endPhase(const std::string &name, Time now)
+{
+    if (cap == 0)
+        return;
+    TraceEvent &slot = ring[head];
+    slot = TraceEvent{TraceKind::kPhaseEnd, 0, kInvalidRow, now, 0,
+                      intern(name)};
+    advance();
+}
+
+std::vector<TraceEvent>
+CommandTrace::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(count);
+    // Oldest event sits at `head` once the ring has wrapped, else at 0.
+    const std::size_t first = count == cap ? head : 0;
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(ring[(first + i) % cap]);
+    return out;
+}
+
+std::string
+CommandTrace::text() const
+{
+    std::ostringstream oss;
+    for (const TraceEvent &event : events()) {
+        oss << event.start << "ns " << traceKindName(event.kind);
+        if (event.phase != nullptr) {
+            oss << " " << event.phase;
+        } else {
+            oss << " bank=" << event.bank;
+            if (event.row != kInvalidRow)
+                oss << " row=" << event.row;
+            if (event.duration > 0)
+                oss << " dur=" << event.duration << "ns";
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+void
+CommandTrace::exportChromeTrace(std::ostream &os) const
+{
+    std::vector<TraceEvent> ordered = events();
+    // The simulated clock is monotonic, but mitigation-penalty
+    // accounting can record a batch at a rolled-back clock; viewers
+    // require non-decreasing timestamps, so order stably by start.
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.start < b.start;
+                     });
+
+    Json root = Json::object();
+    root["displayTimeUnit"] = Json("ns");
+    Json &traceEvents = root["traceEvents"];
+    traceEvents = Json::array();
+    for (const TraceEvent &event : ordered) {
+        Json entry = Json::object();
+        const bool is_phase = event.phase != nullptr;
+        entry["name"] = Json(is_phase ? event.phase
+                                      : traceKindName(event.kind));
+        entry["ph"] = Json(is_phase
+                               ? (event.kind == TraceKind::kPhaseBegin
+                                      ? "B"
+                                      : "E")
+                               : "X");
+        // trace_event timestamps are microseconds; keep sub-ns detail.
+        entry["ts"] = Json(static_cast<double>(event.start) / 1e3);
+        if (!is_phase)
+            entry["dur"] =
+                Json(static_cast<double>(event.duration) / 1e3);
+        entry["pid"] = Json(0);
+        // One track per bank for commands; phases on track 0 share the
+        // timeline header.
+        entry["tid"] = Json(is_phase ? 0 : event.bank + 1);
+        if (!is_phase && event.row != kInvalidRow) {
+            Json args = Json::object();
+            args["row"] = Json(static_cast<std::int64_t>(event.row));
+            entry["args"] = std::move(args);
+        }
+        traceEvents.push(std::move(entry));
+    }
+    root.write(os, 1);
+    os << "\n";
+}
+
+} // namespace utrr

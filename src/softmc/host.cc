@@ -26,6 +26,8 @@ SoftMcHost::applyMitigation(Bank bank, Row row)
             continue;
         dram.act(bank, victim, clock);
         dram.pre(bank, clock);
+        cmdTrace.record(TraceKind::kAct, bank, victim, clock,
+                        timingParams.tRAS);
         clock += timingParams.hammerCycle();
         ++acts;
     }
@@ -37,6 +39,7 @@ SoftMcHost::act(Bank bank, Row row)
     if (mitigation != nullptr)
         applyMitigation(bank, row);
     dram.act(bank, row, clock);
+    cmdTrace.record(TraceKind::kAct, bank, row, clock, timingParams.tRAS);
     clock += timingParams.tRAS;
     ++acts;
 }
@@ -45,6 +48,8 @@ void
 SoftMcHost::pre(Bank bank)
 {
     dram.pre(bank, clock);
+    cmdTrace.record(TraceKind::kPre, bank, kInvalidRow, clock,
+                    timingParams.tRP);
     clock += timingParams.tRP;
 }
 
@@ -52,6 +57,8 @@ void
 SoftMcHost::wr(Bank bank, const DataPattern &pattern)
 {
     dram.wr(bank, pattern, clock);
+    cmdTrace.record(TraceKind::kWr, bank, kInvalidRow, clock,
+                    timingParams.tBURST);
     clock += timingParams.tBURST;
 }
 
@@ -59,6 +66,8 @@ void
 SoftMcHost::wrWord(Bank bank, int word_idx, std::uint64_t value)
 {
     dram.wrWord(bank, word_idx, value);
+    cmdTrace.record(TraceKind::kWr, bank, kInvalidRow, clock,
+                    timingParams.tBURST);
     clock += timingParams.tBURST;
 }
 
@@ -66,6 +75,8 @@ RowReadout
 SoftMcHost::rd(Bank bank)
 {
     RowReadout readout = dram.rd(bank);
+    cmdTrace.record(TraceKind::kRd, bank, kInvalidRow, clock,
+                    timingParams.tBURST);
     clock += timingParams.tBURST;
     return readout;
 }
@@ -76,6 +87,8 @@ SoftMcHost::ref()
     if (mitigation != nullptr)
         mitigation->onRefresh(clock);
     dram.ref(clock);
+    cmdTrace.record(TraceKind::kRef, 0, kInvalidRow, clock,
+                    timingParams.tRFC);
     clock += timingParams.tRFC;
     ++refCmds;
 }
@@ -100,6 +113,7 @@ void
 SoftMcHost::wait(Time ns)
 {
     UTRR_ASSERT(ns >= 0, "cannot wait negative time");
+    cmdTrace.record(TraceKind::kWait, 0, kInvalidRow, clock, ns);
     clock += ns;
 }
 
@@ -194,6 +208,8 @@ SoftMcHost::hammerMultiBank(
             }
             dram.act(bank, row, clock);
             dram.pre(bank, clock);
+            cmdTrace.record(TraceKind::kAct, bank, row, clock,
+                            timingParams.tRAS);
             ++acts;
         }
     }

@@ -22,6 +22,8 @@
 #include "dram/module.hh"
 #include "dram/timing.hh"
 #include "mitigation/mitigation.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "softmc/command.hh"
 
 namespace utrr
@@ -138,6 +140,28 @@ class SoftMcHost
 
     ControllerMitigation *attachedMitigation() { return mitigation; }
 
+    // --- observability --------------------------------------------------
+
+    /**
+     * Command trace. Disabled (and free) by default; call
+     * trace().enable(capacity) to start recording every command this
+     * host issues into a ring buffer.
+     */
+    CommandTrace &trace() { return cmdTrace; }
+    const CommandTrace &trace() const { return cmdTrace; }
+
+    /**
+     * Attach a metrics registry (not owned; nullptr detaches). Forwards
+     * to the DRAM module so substrate metrics land in the same registry.
+     */
+    void attachMetrics(MetricsRegistry *registry)
+    {
+        metrics = registry;
+        dram.attachMetrics(registry);
+    }
+
+    MetricsRegistry *attachedMetrics() { return metrics; }
+
   private:
     void applyMitigation(Bank bank, Row row);
 
@@ -147,6 +171,8 @@ class SoftMcHost
     std::uint64_t acts = 0;
     std::uint64_t refCmds = 0;
     ControllerMitigation *mitigation = nullptr;
+    CommandTrace cmdTrace;
+    MetricsRegistry *metrics = nullptr;
 };
 
 } // namespace utrr

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/metrics.hh"
 
 namespace utrr
 {
@@ -77,6 +78,24 @@ class TrrMechanism
 
     /** Implementation name for logs. */
     virtual std::string name() const = 0;
+
+    /**
+     * Attach the chip's ground-truth store. The mechanism records its
+     * internal truth (detections, table/sampler occupancy) there;
+     * experiments can only read it through a counted GroundTruthProbe.
+     */
+    void
+    attachGroundTruth(GroundTruthStore *store)
+    {
+        gt = store;
+        onGroundTruthAttached();
+    }
+
+  protected:
+    /** Subclass hook to cache metric handles once. */
+    virtual void onGroundTruthAttached() {}
+
+    GroundTruthStore *gt = nullptr;
 };
 
 /** TRR that does nothing (chips without mitigation / disabled TRR). */

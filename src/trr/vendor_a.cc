@@ -40,12 +40,26 @@ VendorATrr::onActivate(Bank bank, Row phys_row)
     *victim = {phys_row, 1};
 }
 
+void
+VendorATrr::onGroundTruthAttached()
+{
+    gtTrrRefs = &gt->counter("trr.trr_capable_refs");
+    gtDetections = &gt->counter("trr.detections");
+    gtOccupancy.clear();
+    for (std::size_t b = 0; b < bankState.size(); ++b) {
+        gtOccupancy.push_back(
+            &gt->gauge(logFmt("trr.table_occupancy.bank", b)));
+    }
+}
+
 std::vector<TrrRefreshAction>
 VendorATrr::onRefresh()
 {
     ++refCount;
     if (refCount % static_cast<std::uint64_t>(params.trrRefPeriod) != 0)
         return {};
+    if (gtTrrRefs != nullptr)
+        gtTrrRefs->inc();
 
     const bool tref_b = nextIsTrefB;
     nextIsTrefB = !nextIsTrefB;
@@ -75,6 +89,13 @@ VendorATrr::onRefresh()
                 continue; // nothing accumulated since the last reset
             actions.push_back({bank, hottest->row});
             hottest->count = 0; // Obs. A6
+        }
+    }
+    if (gtDetections != nullptr) {
+        gtDetections->inc(actions.size());
+        for (std::size_t b = 0; b < bankState.size(); ++b) {
+            gtOccupancy[b]->set(
+                static_cast<double>(bankState[b].table.size()));
         }
     }
     return actions;

@@ -53,6 +53,9 @@ class VendorATrr : public TrrMechanism
     /** White-box view of one bank's table (row, counter) pairs. */
     std::vector<std::pair<Row, std::uint64_t>> tableOf(Bank bank) const;
 
+  protected:
+    void onGroundTruthAttached() override;
+
   private:
     struct Entry
     {
@@ -70,6 +73,11 @@ class VendorATrr : public TrrMechanism
     std::vector<BankState> bankState;
     std::uint64_t refCount = 0;
     bool nextIsTrefB = false;
+
+    // Ground-truth handles (resolved once at attach; null = detached).
+    Counter *gtTrrRefs = nullptr;
+    Counter *gtDetections = nullptr;
+    std::vector<Gauge *> gtOccupancy;
 };
 
 } // namespace utrr

@@ -13,6 +13,30 @@ VendorBTrr::VendorBTrr(int banks, Params params, std::uint64_t seed)
 }
 
 void
+VendorBTrr::onGroundTruthAttached()
+{
+    gtTrrRefs = &gt->counter("trr.trr_capable_refs");
+    gtDetections = &gt->counter("trr.detections");
+    gtSamples = &gt->counter("trr.samples_taken");
+    gtOccupied = &gt->gauge("trr.sampler_occupancy");
+}
+
+void
+VendorBTrr::recordOccupancy()
+{
+    if (gtOccupied == nullptr)
+        return;
+    int occupied = 0;
+    if (params.perBank) {
+        for (const auto &s : bankSamples)
+            occupied += s ? 1 : 0;
+    } else {
+        occupied = sample ? 1 : 0;
+    }
+    gtOccupied->set(occupied);
+}
+
+void
 VendorBTrr::onActivate(Bank bank, Row phys_row)
 {
     // Pseudo-random ACT sampling: the hardware likely uses an LFSR; we
@@ -25,6 +49,10 @@ VendorBTrr::onActivate(Bank bank, Row phys_row)
     } else {
         sample = TrrRefreshAction{bank, phys_row};
     }
+    if (gtSamples != nullptr) {
+        gtSamples->inc();
+        recordOccupancy();
+    }
 }
 
 std::vector<TrrRefreshAction>
@@ -33,6 +61,8 @@ VendorBTrr::onRefresh()
     ++refCount;
     if (refCount % static_cast<std::uint64_t>(params.trrRefPeriod) != 0)
         return {};
+    if (gtTrrRefs != nullptr)
+        gtTrrRefs->inc();
 
     std::vector<TrrRefreshAction> actions;
     if (params.perBank) {
@@ -45,6 +75,8 @@ VendorBTrr::onRefresh()
     } else if (sample) {
         actions.push_back(*sample); // sample kept (Obs. B5)
     }
+    if (gtDetections != nullptr)
+        gtDetections->inc(actions.size());
     return actions;
 }
 

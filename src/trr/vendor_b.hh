@@ -60,7 +60,12 @@ class VendorBTrr : public TrrMechanism
     /** White-box view of one bank's sample (per-bank mode). */
     std::optional<Row> currentSampleOf(Bank bank) const;
 
+  protected:
+    void onGroundTruthAttached() override;
+
   private:
+    void recordOccupancy();
+
     Params params;
     int banks;
     Rng rng;
@@ -70,6 +75,12 @@ class VendorBTrr : public TrrMechanism
     std::optional<TrrRefreshAction> sample;
     /** Per-bank samples (used when params.perBank). */
     std::vector<std::optional<Row>> bankSamples;
+
+    // Ground-truth handles (resolved once at attach; null = detached).
+    Counter *gtTrrRefs = nullptr;
+    Counter *gtDetections = nullptr;
+    Counter *gtSamples = nullptr;
+    Gauge *gtOccupied = nullptr;
 };
 
 } // namespace utrr

@@ -33,8 +33,20 @@ VendorCTrr::onActivate(Bank bank, Row phys_row)
     // detected (Obs. C2).
     if (state.candidate)
         return;
-    if (rng.chance(params.sampleProbability))
+    if (rng.chance(params.sampleProbability)) {
         state.candidate = phys_row;
+        if (gtCandidates != nullptr)
+            gtCandidates->inc();
+    }
+}
+
+void
+VendorCTrr::onGroundTruthAttached()
+{
+    gtTrrRefs = &gt->counter("trr.trr_capable_refs");
+    gtDetections = &gt->counter("trr.detections");
+    gtCandidates = &gt->counter("trr.candidates_sampled");
+    gtOccupied = &gt->gauge("trr.candidate_occupancy");
 }
 
 std::vector<TrrRefreshAction>
@@ -43,6 +55,8 @@ VendorCTrr::onRefresh()
     ++refsSinceTrr;
     if (refsSinceTrr < params.trrRefPeriod)
         return {};
+    if (gtTrrRefs != nullptr)
+        gtTrrRefs->inc();
 
     // Eligible: fire for every bank holding a candidate; if none exists
     // anywhere, defer to a later REF (Obs. C1).
@@ -58,6 +72,13 @@ VendorCTrr::onRefresh()
     }
     if (!actions.empty())
         refsSinceTrr = 0;
+    if (gtDetections != nullptr) {
+        gtDetections->inc(actions.size());
+        int occupied = 0;
+        for (const auto &state : bankState)
+            occupied += state.candidate ? 1 : 0;
+        gtOccupied->set(occupied);
+    }
     return actions;
 }
 

@@ -65,6 +65,9 @@ class VendorCTrr : public TrrMechanism
     /** White-box view of one bank's ACT count within its window. */
     int windowActsOf(Bank bank) const;
 
+  protected:
+    void onGroundTruthAttached() override;
+
   private:
     struct BankState
     {
@@ -78,6 +81,12 @@ class VendorCTrr : public TrrMechanism
     std::vector<BankState> bankState;
     /** REFs since the last performed TRR-induced refresh. */
     int refsSinceTrr = 0;
+
+    // Ground-truth handles (resolved once at attach; null = detached).
+    Counter *gtTrrRefs = nullptr;
+    Counter *gtDetections = nullptr;
+    Counter *gtCandidates = nullptr;
+    Gauge *gtOccupied = nullptr;
 };
 
 } // namespace utrr

@@ -93,10 +93,11 @@ TEST(ReedSolomon, BeyondTIsDetectedOrWrong)
                 static_cast<Elem>(rng.uniformInt(1, 255));
         }
         const auto result = rs.decode(received);
-        if (result.status == RsDecodeResult::Status::kDetected)
+        if (result.status == RsDecodeResult::Status::kDetected) {
             ++detected;
-        else if (result.status == RsDecodeResult::Status::kCorrected)
+        } else if (result.status == RsDecodeResult::Status::kCorrected) {
             EXPECT_NE(result.codeword, codeword); // miscorrection
+        }
     }
     EXPECT_GT(detected, 150); // most 3-error patterns are detected
 }

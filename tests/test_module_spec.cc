@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/logging.hh"
 #include "dram/module_spec.hh"
 
 namespace utrr
@@ -90,7 +91,7 @@ TEST(ModuleSpecs, PairedOnlyForCTrr1)
     }
     // C0-8 implement C_TRR1 (Table 1).
     for (int i = 0; i <= 8; ++i) {
-        EXPECT_TRUE(findModuleSpec("C" + std::to_string(i))->paired());
+        EXPECT_TRUE(findModuleSpec(logFmt("C", i))->paired());
     }
     EXPECT_FALSE(findModuleSpec("C9")->paired());
 }
@@ -122,19 +123,19 @@ TEST(ModuleSpecs, HcFirstRangesPerTable1)
     // Spot-check the HC_first ranges of grouped rows.
     for (int i = 1; i <= 5; ++i) {
         const double hc =
-            findModuleSpec("A" + std::to_string(i))->hcFirst;
+            findModuleSpec(logFmt("A", i))->hcFirst;
         EXPECT_GE(hc, 13'000);
         EXPECT_LE(hc, 15'000);
     }
     for (int i = 1; i <= 4; ++i) {
         const double hc =
-            findModuleSpec("B" + std::to_string(i))->hcFirst;
+            findModuleSpec(logFmt("B", i))->hcFirst;
         EXPECT_GE(hc, 159'000);
         EXPECT_LE(hc, 192'000);
     }
     for (int i = 12; i <= 14; ++i) {
         const double hc =
-            findModuleSpec("C" + std::to_string(i))->hcFirst;
+            findModuleSpec(logFmt("C", i))->hcFirst;
         EXPECT_GE(hc, 6'000);
         EXPECT_LE(hc, 7'000);
     }

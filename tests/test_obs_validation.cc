@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Validation of the U-TRR inference against the chip's ground truth:
+ * the refresh rounds the TRR Analyzer *infers* from the retention side
+ * channel must coincide with the TRR-induced victim refreshes the
+ * vendor models actually performed (read through the counted
+ * GroundTruthProbe — this is a deliberately white-box test).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/row_scout.hh"
+#include "core/trr_analyzer.hh"
+#include "dram/module.hh"
+#include "softmc/host.hh"
+
+namespace utrr
+{
+namespace
+{
+
+ModuleSpec
+smallSpec(TrrVersion trr)
+{
+    ModuleSpec spec = *findModuleSpec("A5");
+    spec.trr = trr;
+    spec.rowsPerBank = 4 * 1024;
+    spec.banks = 1;
+    spec.remapsPerBank = 0;
+    spec.scramble = RowScramble::kSequential;
+    return spec;
+}
+
+std::string
+victimCounterName(Bank bank, Row phys)
+{
+    std::ostringstream name;
+    name << "chip.trr_victim_refresh.b" << bank << ".r" << phys;
+    return name.str();
+}
+
+/**
+ * Run many single-round experiments with one aggressor in the group's
+ * gap. The aggressor's TRR victims are exactly the two profiled rows,
+ * so on every iteration:
+ *
+ *   inferred "refreshed" == (per-row ground-truth counters advanced),
+ *
+ * except when the regular-refresh sweep coincidentally covers a
+ * profiled row during the round's REF (checked white-box and skipped).
+ */
+void
+runGroundTruthValidation(TrrVersion trr)
+{
+    DramModule module(smallSpec(trr), 41);
+    SoftMcHost host(module);
+    const DiscoveredMapping mapping =
+        DiscoveredMapping::identity(module.spec().rowsPerBank);
+
+    RowScoutConfig scout_cfg;
+    scout_cfg.rowEnd = 2'048;
+    scout_cfg.layout = RowGroupLayout::parse("R-R");
+    scout_cfg.groupCount = 1;
+    scout_cfg.consistencyChecks = 15;
+    RowScout scout(host, mapping, scout_cfg);
+    const auto groups = scout.scout();
+    ASSERT_FALSE(groups.empty());
+    const RowGroup group = groups.front();
+
+    TrrAnalyzer analyzer(host, mapping);
+    const Row aggressor = group.gapPhysRows().front();
+    TrrExperimentConfig cfg;
+    cfg.aggressors = {{aggressor, 3'000}};
+    cfg.rounds = 1;
+    cfg.refsPerRound = 1;
+    cfg.resetRefs = 256;
+
+    const GroundTruthProbe probe = module.groundTruthProbe();
+    const std::vector<std::string> names = {
+        victimCounterName(group.bank, group.rows[0].physRow),
+        victimCounterName(group.bank, group.rows[1].physRow),
+    };
+
+    int inferred_rounds = 0;
+    int truth_rounds = 0;
+    int compared = 0;
+    for (int it = 0; it < 40; ++it) {
+        // Coincidence guard: skip iterations whose single REF would
+        // regular-refresh a profiled row (the side channel then reports
+        // a refresh the TRR mechanism did not perform). The reset dance
+        // of iteration 0 issues many REFs, so it is never compared.
+        bool sweep_hits = false;
+        for (const ProfiledRow &row : group.rows) {
+            if (module.refsUntilRegularRefresh(row.physRow) == 0)
+                sweep_hits = true;
+        }
+
+        TrrExperimentConfig iter_cfg = cfg;
+        iter_cfg.reset =
+            it == 0 ? TrrResetMode::kDummyHammer : TrrResetMode::kNone;
+
+        const std::uint64_t before =
+            probe.counter(names[0]) + probe.counter(names[1]);
+        const auto result = analyzer.runExperiment(group, iter_cfg);
+        const std::uint64_t after =
+            probe.counter(names[0]) + probe.counter(names[1]);
+
+        const bool truth = after > before;
+        if (it == 0 || sweep_hits)
+            continue;
+        ++compared;
+        inferred_rounds += result.anyRefreshed() ? 1 : 0;
+        truth_rounds += truth ? 1 : 0;
+        EXPECT_EQ(result.anyRefreshed(), truth)
+            << "iteration " << it << ": inference and ground truth "
+            << "disagree (flips " << result.flips[0] << "/"
+            << result.flips[1] << ", gt delta " << after - before << ")";
+    }
+
+    // The comparison must have exercised both outcomes.
+    EXPECT_GT(compared, 20);
+    EXPECT_GE(truth_rounds, 1);
+    EXPECT_LT(truth_rounds, compared);
+    EXPECT_EQ(inferred_rounds, truth_rounds);
+
+    // This test peeks by design; the audit trail must show it.
+    EXPECT_GT(module.groundTruthPeeks(), 0u);
+}
+
+TEST(GroundTruthValidation, VendorATrr1InferenceMatchesTruth)
+{
+    runGroundTruthValidation(TrrVersion::kATrr1);
+}
+
+TEST(GroundTruthValidation, VendorBTrr1InferenceMatchesTruth)
+{
+    runGroundTruthValidation(TrrVersion::kBTrr1);
+}
+
+} // namespace
+} // namespace utrr
