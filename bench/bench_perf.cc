@@ -171,8 +171,8 @@ main(int argc, char **argv)
 
     ExperimentReport report("bench_perf");
     report.attachMetrics(registry);
-    report.writeFile("BENCH_perf.json");
+    const bool wrote = report.writeFile("BENCH_perf.json");
 
     benchmark::Shutdown();
-    return 0;
+    return wrote ? 0 : 1;
 }

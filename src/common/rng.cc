@@ -125,4 +125,21 @@ Rng::fork(std::uint64_t stream)
     return Rng(hashMix(s[0] ^ hashMix(stream)));
 }
 
+Rng
+Rng::fork(std::string_view name)
+{
+    return fork(hashString(name));
+}
+
+std::uint64_t
+hashString(std::string_view text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
 } // namespace utrr

@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 
 namespace utrr
 {
@@ -59,6 +60,15 @@ class Rng
      */
     Rng fork(std::uint64_t stream);
 
+    /**
+     * Derive an independent *named* sub-stream ("fault.vrt",
+     * "fault.noise", ...). Subsystems that draw from their own named
+     * stream cannot perturb anyone else's sequence, so enabling such a
+     * subsystem with all its rates at zero stays bit-identical to not
+     * having it at all.
+     */
+    Rng fork(std::string_view name);
+
   private:
     std::array<std::uint64_t, 4> s;
 };
@@ -68,6 +78,9 @@ std::uint64_t splitmix64(std::uint64_t &state);
 
 /** Stateless 64-bit mix (useful to hash coordinates into seeds). */
 std::uint64_t hashMix(std::uint64_t x);
+
+/** FNV-1a 64-bit string hash (names -> RNG stream ids). */
+std::uint64_t hashString(std::string_view text);
 
 } // namespace utrr
 

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 
 namespace utrr
 {
@@ -87,6 +88,88 @@ TrrReveng::TrrReveng(SoftMcHost &host, DiscoveredMapping mapping,
 {
 }
 
+void
+TrrReveng::retryWithFreshRows(const char *why, Bank bank)
+{
+    auto &burned = burnedByBank[bank];
+    for (const RowGroup &group : rrPools[bank]) {
+        for (const ProfiledRow &row : group.rows)
+            burned.push_back(row.physRow);
+        for (Row gap : group.gapPhysRows())
+            burned.push_back(gap);
+    }
+    rrPools[bank].clear();
+    ++freshRowRetries;
+    if (MetricsRegistry *m = host.attachedMetrics())
+        m->counter("reveng.fresh_row_retries").inc();
+    warn(logFmt("reveng: ", why, " — retrying with fresh rows (",
+                burned.size(), " burned in bank ", bank, ")"));
+}
+
+void
+TrrReveng::retryWithFreshWideGroup(const char *why)
+{
+    for (const RowGroup &group : widePool) {
+        auto &burned = burnedByBank[group.bank];
+        for (const ProfiledRow &row : group.rows)
+            burned.push_back(row.physRow);
+        for (Row gap : group.gapPhysRows())
+            burned.push_back(gap);
+    }
+    widePool.clear();
+    ++freshRowRetries;
+    if (MetricsRegistry *m = host.attachedMetrics())
+        m->counter("reveng.fresh_row_retries").inc();
+    warn(logFmt("reveng: ", why,
+                " — retrying with a fresh wide group"));
+}
+
+bool
+TrrReveng::chaosActive() const
+{
+    const FaultInjector *injector = host.faultInjector();
+    return injector != nullptr && injector->enabled();
+}
+
+bool
+TrrReveng::groupStillHealthy(const RowGroup &group)
+{
+    RowScoutConfig scout_cfg;
+    scout_cfg.bank = group.bank;
+    RowScout scout(host, mapping, scout_cfg);
+    for (const ProfiledRow &row : group.rows)
+        if (!scout.validateRetention(row.logicalRow, group.retention, 1))
+            return false;
+    return true;
+}
+
+void
+TrrReveng::quarantineGroups(Bank bank, const std::vector<RowGroup> &bad)
+{
+    auto &burned = burnedByBank[bank];
+    for (const RowGroup &group : bad) {
+        for (const ProfiledRow &row : group.rows)
+            burned.push_back(row.physRow);
+        for (Row gap : group.gapPhysRows())
+            burned.push_back(gap);
+    }
+    auto &pool = rrPools[bank];
+    pool.erase(std::remove_if(pool.begin(), pool.end(),
+                              [&bad](const RowGroup &group) {
+                                  for (const RowGroup &b : bad)
+                                      if (b.basePhysRow ==
+                                          group.basePhysRow)
+                                          return true;
+                                  return false;
+                              }),
+               pool.end());
+    if (MetricsRegistry *m = host.attachedMetrics())
+        m->counter("reveng.quarantined_groups").inc(bad.size());
+    warn(logFmt("reveng: quarantined ", bad.size(),
+                " group(s) that read refreshed unconditionally (bank ",
+                bank, ")"));
+}
+
 std::vector<RowGroup>
 TrrReveng::groupsRR(int count, Bank bank)
 {
@@ -101,6 +184,8 @@ TrrReveng::groupsRR(int count, Bank bank)
         scout_cfg.layout = RowGroupLayout::parse("R-R");
         scout_cfg.groupCount = count + 3;
         scout_cfg.consistencyChecks = cfg.consistencyChecks;
+        scout_cfg.revalidateChecks = cfg.revalidateChecks;
+        scout_cfg.excludePhys = burnedByBank[bank];
         RowScout scout(host, mapping, scout_cfg);
         pool.clear();
         for (RowGroup &group : scout.scout()) {
@@ -119,27 +204,35 @@ TrrReveng::groupsRR(int count, Bank bank)
     return {pool.begin(), pool.begin() + have};
 }
 
+bool
+TrrReveng::refillWidePool()
+{
+    // Six retention-matched rows in a 7-row span are rare; scan the
+    // whole bank and fall back to other banks if needed.
+    const int banks = host.module().spec().banks;
+    for (int attempt = 0; attempt < banks && widePool.empty();
+         ++attempt) {
+        RowScoutConfig scout_cfg;
+        scout_cfg.bank = (cfg.bank + attempt) % banks;
+        scout_cfg.rowStart = cfg.scoutRowStart;
+        scout_cfg.rowEnd = std::min(cfg.wideScoutRowEnd,
+                                    host.module().spec().rowsPerBank);
+        scout_cfg.layout = RowGroupLayout::parse("RRR-RRR");
+        scout_cfg.groupCount = 1;
+        scout_cfg.consistencyChecks = cfg.consistencyChecks;
+        scout_cfg.revalidateChecks = cfg.revalidateChecks;
+        scout_cfg.excludePhys = burnedByBank[scout_cfg.bank];
+        RowScout scout(host, mapping, scout_cfg);
+        widePool = scout.scout();
+    }
+    return !widePool.empty();
+}
+
 const RowGroup &
 TrrReveng::groupWide()
 {
     if (widePool.empty()) {
-        // Six retention-matched rows in a 7-row span are rare; scan the
-        // whole bank and fall back to other banks if needed.
-        const int banks = host.module().spec().banks;
-        for (int attempt = 0; attempt < banks && widePool.empty();
-             ++attempt) {
-            RowScoutConfig scout_cfg;
-            scout_cfg.bank = (cfg.bank + attempt) % banks;
-            scout_cfg.rowStart = cfg.scoutRowStart;
-            scout_cfg.rowEnd = std::min(
-                cfg.wideScoutRowEnd,
-                host.module().spec().rowsPerBank);
-            scout_cfg.layout = RowGroupLayout::parse("RRR-RRR");
-            scout_cfg.groupCount = 1;
-            scout_cfg.consistencyChecks = cfg.consistencyChecks;
-            RowScout scout(host, mapping, scout_cfg);
-            widePool = scout.scout();
-        }
+        refillWidePool();
         UTRR_ASSERT(!widePool.empty(),
                     "row scout found no RRR-RRR group in any bank");
     }
@@ -169,6 +262,7 @@ TrrReveng::configFor(const std::vector<RowGroup> &groups,
     config.dummiesFirst = plan.dummiesFirst;
     config.reset = TrrResetMode::kNone;
     config.skipAggressorInit = !plan.initAggressorsEachIter;
+    config.readVotes = plan.readVotes;
     return config;
 }
 
@@ -206,24 +300,122 @@ TrrReveng::runIterations(const std::vector<RowGroup> &groups,
     return trace;
 }
 
+namespace
+{
+
+/**
+ * Period estimate from event iterations, aware of TRR deferral: a
+ * vendor-C TRR eligible every p REFs may defer when no aggressor is
+ * detected at the eligible REF, lengthening some gaps to p+1 — but a
+ * gap can never be shorter than p. When the mode lands on a gap whose
+ * predecessor is also frequent, the mode is the deferred variant and
+ * the shorter gap is the true period. Vendors without deferral produce
+ * exact gaps, so the rule never fires for them.
+ */
+int
+periodFromEvents(const std::vector<int> &events)
+{
+    if (events.size() < 2)
+        return 0;
+    std::map<int, int> counts;
+    for (std::size_t i = 1; i < events.size(); ++i)
+        ++counts[events[i] - events[i - 1]];
+    int mode = 0;
+    int mode_count = 0;
+    for (const auto &[gap, count] : counts) {
+        if (count > mode_count) {
+            mode = gap;
+            mode_count = count;
+        }
+    }
+    const auto prev = counts.find(mode - 1);
+    if (prev != counts.end() && prev->second * 2 >= mode_count)
+        return mode - 1;
+    return mode;
+}
+
+} // namespace
+
 int
 TrrReveng::discoverTrrRefPeriod()
 {
     // Paper §6.1.1: with N >= 16 hammered row groups, some group is
     // refreshed at every TRR-capable REF, exposing the TRR-to-REF
     // ratio as the dominant gap between refresh events.
-    std::vector<RowGroup> groups = groupsRR(16, cfg.bank);
-    UTRR_ASSERT(!groups.empty(), "no R-R groups available");
+    const bool chaos = chaosActive();
 
-    IterationPlan plan;
-    plan.hammersPerGroup.assign(groups.size(), 2'000);
-    plan.mode = HammerMode::kCascaded;
+    // One measurement pass over @p iterations iterations, with the
+    // per-round sanity checks, two layers. First: one TRR-capable REF
+    // serves one of the 16 hammered groups, so no healthy group can
+    // see events in nearly every iteration. Second (only under active
+    // fault injection): re-validate each group's retention margin after
+    // the measurement — the check issues no REF, so a row reading clean
+    // after T proves its margin silently vanished (VRT flip,
+    // temperature drift) and its events were garbage at whatever rate
+    // they fired. Broken groups are dropped from the analysis and
+    // their rows burned.
+    auto measure = [&](int iterations) {
+        std::vector<RowGroup> groups = groupsRR(16, cfg.bank);
+        UTRR_ASSERT(!groups.empty(), "no R-R groups available");
 
-    const IterationTrace trace =
-        runIterations(groups, plan, cfg.periodIterations);
-    const int period = IterationTrace::dominantPeriod(trace.anyEvents());
-    inform(logFmt("TRR-capable REF period: ", period));
-    return period;
+        IterationPlan plan;
+        plan.hammersPerGroup.assign(groups.size(), 2'000);
+        plan.mode = HammerMode::kCascaded;
+
+        const IterationTrace trace =
+            runIterations(groups, plan, iterations);
+
+        std::vector<bool> stuck(groups.size(), false);
+        std::vector<RowGroup> stuck_groups;
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            const auto group_events = trace.eventsOf(g);
+            const bool always_on =
+                static_cast<int>(group_events.size()) * 10 >
+                iterations * 9;
+            if (always_on || (chaos && !groupStillHealthy(groups[g]))) {
+                stuck[g] = true;
+                stuck_groups.push_back(groups[g]);
+            }
+        }
+        if (!stuck_groups.empty())
+            quarantineGroups(cfg.bank, stuck_groups);
+
+        std::vector<int> events;
+        for (int it = 0; it < iterations; ++it) {
+            bool any = false;
+            for (std::size_t g = 0; g < groups.size(); ++g)
+                any = any || (!stuck[g] && trace.masks[it][g] != 0);
+            if (any)
+                events.push_back(it);
+        }
+        return periodFromEvents(events);
+    };
+
+    for (int attempt = 0;; ++attempt) {
+        int period = measure(cfg.periodIterations);
+
+        // Long periods leave few gap samples (period 17 in 64
+        // iterations is only ~3 gaps), so under fault injection a
+        // single disturbed gap can hijack the vote. Confirm with an
+        // iteration count scaled to the estimate — enough fires for a
+        // robust mode — before trusting it.
+        if (chaos && period > 1 && cfg.periodIterations < 10 * period) {
+            const int confirm_iters = std::min(12 * period, 400);
+            warn(logFmt("reveng: period estimate ", period,
+                        " rests on few samples — confirming over ",
+                        confirm_iters, " iterations"));
+            period = measure(confirm_iters);
+        }
+
+        // Period 1 (an event every iteration) is as degenerate as no
+        // period at all: it means every surviving signal row is broken,
+        // not that every REF is TRR-capable.
+        if (period > 1 || attempt >= cfg.maxRetries) {
+            inform(logFmt("TRR-capable REF period: ", period));
+            return period;
+        }
+        retryWithFreshRows("no dominant TRR-REF period", cfg.bank);
+    }
 }
 
 int
@@ -233,34 +425,103 @@ TrrReveng::discoverNeighborsRefreshed()
     // aggressor (RRR-RRR) and see which of them a TRR-induced refresh
     // covers. The dominant refresh mask across events belongs to the
     // aggressor (counter/sampler noise produces minority masks).
-    const RowGroup &group = groupWide();
+    for (int attempt = 0;; ++attempt) {
+        // By value: the retry paths below burn the pool this reference
+        // would point into.
+        const RowGroup group = groupWide();
 
-    IterationPlan plan;
-    plan.hammersPerGroup = {cfg.aggressorHammers};
+        IterationPlan plan;
+        plan.hammersPerGroup = {cfg.aggressorHammers};
 
-    const IterationTrace trace =
-        runIterations({group}, plan, cfg.periodIterations);
+        const IterationTrace trace =
+            runIterations({group}, plan, cfg.periodIterations);
 
-    std::map<std::uint64_t, int> mask_counts;
-    for (const auto &masks : trace.masks) {
-        if (masks[0] != 0)
-            ++mask_counts[masks[0]];
-    }
-    std::uint64_t best_mask = 0;
-    int best_count = 0;
-    for (const auto &[mask, count] : mask_counts) {
-        if (count > best_count) {
-            best_count = count;
-            best_mask = mask;
+        // Per-round sanity checks (as in discoverTrrRefPeriod): a row
+        // whose bit is set in nearly every iteration, or that fails the
+        // no-REF retention re-validation after the measurement, has
+        // lost its retention margin and reads "refreshed" regardless of
+        // TRR; mask it out so it cannot pose as part of the dominant
+        // TRR footprint.
+        const int iterations = static_cast<int>(trace.masks.size());
+        std::uint64_t stuck_mask = 0;
+        RowScoutConfig check_cfg;
+        check_cfg.bank = group.bank;
+        RowScout checker(host, mapping, check_cfg);
+        for (std::size_t r = 0; r < group.rows.size(); ++r) {
+            int set_count = 0;
+            for (const auto &masks : trace.masks)
+                set_count += (masks[0] >> r) & 1 ? 1 : 0;
+            const bool always_on = set_count * 10 > iterations * 9;
+            if (always_on ||
+                (chaosActive() &&
+                 !checker.validateRetention(group.rows[r].logicalRow,
+                                            group.retention, 1)))
+                stuck_mask |= std::uint64_t{1} << r;
+        }
+        if (stuck_mask != 0) {
+            if (MetricsRegistry *m = host.attachedMetrics())
+                m->counter("reveng.stuck_rows")
+                    .inc(static_cast<std::uint64_t>(
+                        std::popcount(stuck_mask)));
+            // A broken row may itself be a true victim — masking it out
+            // would silently undercount the TRR footprint. Prefer a
+            // fresh group; fall back to masked analysis only when the
+            // retry budget or the supply of fresh groups is spent.
+            if (attempt < cfg.maxRetries) {
+                retryWithFreshWideGroup(
+                    "broken row in the neighbour analysis");
+                if (refillWidePool())
+                    continue;
+            }
+            warn(logFmt("reveng: masking ", std::popcount(stuck_mask),
+                        " broken row(s) out of the neighbour analysis "
+                        "(no retry budget or fresh groups left)"));
+        }
+
+        std::map<std::uint64_t, int> mask_counts;
+        for (const auto &masks : trace.masks) {
+            if ((masks[0] & ~stuck_mask) != 0)
+                ++mask_counts[masks[0] & ~stuck_mask];
+        }
+        std::uint64_t best_mask = 0;
+        int best_count = 0;
+        for (const auto &[mask, count] : mask_counts) {
+            if (count > best_count) {
+                best_count = count;
+                best_mask = mask;
+            }
+        }
+        const int neighbours = std::popcount(best_mask);
+        if (neighbours > 0 || attempt >= cfg.maxRetries) {
+            inform(logFmt("neighbours refreshed per TRR refresh: ",
+                          neighbours));
+            return neighbours;
+        }
+        retryWithFreshWideGroup("no TRR refresh mask observed");
+        if (!refillWidePool()) {
+            warn("reveng: no fresh RRR-RRR group available — giving "
+                 "up on the neighbour analysis");
+            return neighbours;
         }
     }
-    const int neighbours = std::popcount(best_mask);
-    inform(logFmt("neighbours refreshed per TRR refresh: ", neighbours));
-    return neighbours;
 }
 
 DetectionType
 TrrReveng::discoverDetectionType()
+{
+    DetectionType type = DetectionType::kUnknown;
+    for (int attempt = 0;; ++attempt) {
+        type = discoverDetectionTypeOnce();
+        if (type != DetectionType::kUnknown ||
+            attempt >= cfg.maxRetries) {
+            return type;
+        }
+        retryWithFreshRows("ambiguous detection type", cfg.bank);
+    }
+}
+
+DetectionType
+TrrReveng::discoverDetectionTypeOnce()
 {
     std::vector<RowGroup> groups = groupsRR(2, cfg.bank);
     UTRR_ASSERT(groups.size() == 2, "need two R-R groups");
@@ -631,6 +892,8 @@ TrrReveng::discoverRegularRefreshPeriod()
 TrrProfile
 TrrReveng::discoverAll(bool include_slow)
 {
+    if (cfg.watchdogBudgetNs > 0)
+        host.setWatchdogBudget(cfg.watchdogBudgetNs);
     TrrProfile profile;
     profile.trrToRefPeriod = discoverTrrRefPeriod();
     profile.neighborsRefreshed = discoverNeighborsRefreshed();

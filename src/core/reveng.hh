@@ -84,6 +84,12 @@ struct TrrRevengConfig
     Row wideScoutRowEnd = 48 * 1024;
     /** Retention-consistency validations per scouted row. */
     int consistencyChecks = 50;
+    /**
+     * Post-acceptance stability checks per profiled row (Row Scout
+     * self-healing; 0 disables). Enable when a fault injector is
+     * active so VRT-flipped rows are evicted and replaced.
+     */
+    int revalidateChecks = 0;
     /** Default per-aggressor hammers in discovery experiments. */
     int aggressorHammers = 5'000;
     /** Iterations for REF-periodicity discovery. */
@@ -98,6 +104,20 @@ struct TrrRevengConfig
      *  (small) probe establishes the baseline detectability of a
      *  late-hammered aggressor. */
     std::vector<int> windowProbes = {16, 128, 512, 1'024, 2'048};
+    /**
+     * Self-healing: retries with freshly scouted rows when a discovery
+     * procedure returns a degenerate result (no dominant period, zero
+     * neighbours, unknown detection type). The previous pool's rows are
+     * burned — a row whose retention silently changed (VRT, drift)
+     * would keep producing garbage.
+     */
+    int maxRetries = 2;
+    /**
+     * Simulated-time watchdog budget armed at the start of discoverAll
+     * (0 disables): an experiment that overruns it fails with a
+     * structured WatchdogTimeout instead of spinning forever.
+     */
+    Time watchdogBudgetNs = 0;
 };
 
 /**
@@ -170,6 +190,19 @@ class TrrReveng
         int dummyHammers = 0;
         bool dummiesFirst = false;
         bool initAggressorsEachIter = true;
+        /**
+         * Read-back votes per profiled row. Iteration analyses keep
+         * this at 1 even under fault injection: every RD is an ACT the
+         * TRR observes, and on first-sampled-wins TRRs the analyzer's
+         * own reads — the first in-window ACTs after a TRR fire — get
+         * sampled as the "aggressor", diverting the next TRR refresh
+         * to unprofiled rows (an invisible event). Read noise can only
+         * add flips, never fake the all-zeros "refreshed" signal, so
+         * minimal reads are strictly safer for event-timing analyses;
+         * quorum voting stays the TrrAnalyzer default where flip
+         * verdicts, not timing, are at stake.
+         */
+        int readVotes = 1;
     };
 
     /** Refresh-event trace of an iteration sequence. */
@@ -198,9 +231,57 @@ class TrrReveng
                                  const IterationPlan *first_iter_plan =
                                      nullptr);
 
+    /** Fresh-row retries performed so far (degenerate results). */
+    std::uint64_t freshRowRetriesPerformed() const
+    {
+        return freshRowRetries;
+    }
+
   private:
     TrrExperimentConfig configFor(const std::vector<RowGroup> &groups,
                                   const IterationPlan &plan) const;
+
+    /** One detection-type probe (retry loop lives in the public API). */
+    DetectionType discoverDetectionTypeOnce();
+
+    /**
+     * Burn the cached R-R pool of @p bank (its rows are never selected
+     * again) so the next groupsRR call scouts fresh rows; counts as one
+     * fresh-row retry.
+     */
+    void retryWithFreshRows(const char *why, Bank bank);
+
+    /** Same for the wide (RRR-RRR) pool. */
+    void retryWithFreshWideGroup(const char *why);
+
+    /**
+     * Scout a replacement RRR-RRR group (any bank, burned rows
+     * excluded); false when none can be found, so callers can fall
+     * back instead of asserting.
+     */
+    bool refillWidePool();
+
+    /**
+     * Burn the rows of @p bad (groups caught by a per-round sanity
+     * check: they read "refreshed" unconditionally because their
+     * retention margin silently vanished) and drop them from the cached
+     * pool of @p bank, so the next groupsRR call tops it up with fresh
+     * rows.
+     */
+    void quarantineGroups(Bank bank, const std::vector<RowGroup> &bad);
+
+    /**
+     * Post-measurement health check (only run under an active fault
+     * injector): every profiled row of @p group must still hold for
+     * T/2 and fail after T. The check issues no REF, so a clean read
+     * after T cannot be a TRR refresh — it proves the row's retention
+     * margin silently vanished (VRT flip, temperature drift) and its
+     * refresh events were garbage.
+     */
+    bool groupStillHealthy(const RowGroup &group);
+
+    /** True when an attached fault injector has any hook active. */
+    bool chaosActive() const;
 
     SoftMcHost &host;
     DiscoveredMapping mapping;
@@ -209,6 +290,9 @@ class TrrReveng
     /** Cached R-R pools per bank. */
     std::map<Bank, std::vector<RowGroup>> rrPools;
     std::vector<RowGroup> widePool;
+    /** Physical rows burned by fresh-row retries, per bank. */
+    std::map<Bank, std::vector<Row>> burnedByBank;
+    std::uint64_t freshRowRetries = 0;
 };
 
 } // namespace utrr

@@ -16,6 +16,7 @@ RowScout::RowScout(SoftMcHost &host, DiscoveredMapping mapping,
     UTRR_ASSERT(cfg.rowStart >= 0 && cfg.rowEnd > cfg.rowStart,
                 "bad row range");
     UTRR_ASSERT(cfg.initialT > 0 && cfg.stepT > 0, "bad T schedule");
+    burnedPhys.insert(cfg.excludePhys.begin(), cfg.excludePhys.end());
 }
 
 std::map<Row, int>
@@ -79,7 +80,10 @@ RowScout::formCandidateGroups(const std::map<Row, Time> &first_fail,
             continue;
         if (mapping.isAnomalous(logical))
             continue;
-        eligible_phys.insert(mapping.toPhysical(logical));
+        const Row phys = mapping.toPhysical(logical);
+        if (burnedPhys.count(phys))
+            continue; // evicted by re-validation; never trust it again
+        eligible_phys.insert(phys);
     }
 
     std::vector<RowGroup> candidates;
@@ -175,7 +179,7 @@ RowScout::scout()
                 reserved_phys.insert(group.basePhysRow + d);
             groups.push_back(std::move(group));
             if (static_cast<int>(groups.size()) >= cfg.groupCount)
-                return groups;
+                return revalidateAndReplace(std::move(groups));
         }
         if (groups.size() > best.size())
             best = std::move(groups);
@@ -184,7 +188,131 @@ RowScout::scout()
     warn(logFmt("row scout found only ", best.size(), " of ",
                 cfg.groupCount, " requested groups (layout ",
                 cfg.layout.text(), ")"));
-    return best;
+    return revalidateAndReplace(std::move(best));
+}
+
+std::vector<RowGroup>
+RowScout::scoutReplacements(const std::vector<RowGroup> &existing, Time t,
+                            int needed)
+{
+    // Replacement groups must share the survivors' retention T (paper
+    // §4.1), so eligibility is rebuilt at exactly that T: one scan at
+    // the hold point marks early failers ineligible, one scan at T
+    // marks the rest eligible.
+    std::map<Row, Time> first_fail;
+    for (const auto &[row, flips] : scanFailingRows(t / 2))
+        first_fail[row] = t / 2;
+    for (const auto &[row, flips] : scanFailingRows(t)) {
+        if (!first_fail.count(row))
+            first_fail[row] = t;
+    }
+
+    std::set<Row> reserved_phys;
+    for (const RowGroup &group : existing) {
+        for (int d = 0; d < cfg.layout.span(); ++d)
+            reserved_phys.insert(group.basePhysRow + d);
+    }
+    auto overlaps_reserved = [&](const RowGroup &group) {
+        for (int d = -cfg.groupSeparation;
+             d < cfg.layout.span() + cfg.groupSeparation; ++d) {
+            if (reserved_phys.count(group.basePhysRow + d))
+                return true;
+        }
+        return false;
+    };
+
+    std::vector<RowGroup> found;
+    for (RowGroup &group : formCandidateGroups(first_fail, t)) {
+        if (overlaps_reserved(group))
+            continue;
+        bool consistent = true;
+        for (const ProfiledRow &row : group.rows) {
+            if (!validateRetention(row.logicalRow, t,
+                                   cfg.consistencyChecks)) {
+                consistent = false;
+                break;
+            }
+        }
+        if (!consistent)
+            continue;
+        for (int d = 0; d < cfg.layout.span(); ++d)
+            reserved_phys.insert(group.basePhysRow + d);
+        found.push_back(std::move(group));
+        if (static_cast<int>(found.size()) >= needed)
+            break;
+    }
+    return found;
+}
+
+std::vector<RowGroup>
+RowScout::revalidateAndReplace(std::vector<RowGroup> groups)
+{
+    if (cfg.revalidateChecks <= 0)
+        return groups;
+    ScopedTimer timer(host.attachedMetrics(), "row_scout.revalidate");
+    SimPhase phase(&host.trace(), "rs_revalidate",
+                   [this] { return host.now(); });
+
+    int eviction_budget = cfg.maxEvictions;
+    while (eviction_budget > 0) {
+        // Stability pass: every accepted row must still hold for T/2
+        // and fail at T. A row that stopped failing (VRT flip to the
+        // high-retention mode, upward drift) would make "no flips" an
+        // ambiguous signal in the analyzer, so its group is evicted.
+        std::size_t i = 0;
+        bool evicted_any = false;
+        while (i < groups.size() && eviction_budget > 0) {
+            RowGroup &group = groups[i];
+            bool healthy = true;
+            for (const ProfiledRow &row : group.rows) {
+                if (!validateRetention(row.logicalRow, group.retention,
+                                       cfg.revalidateChecks)) {
+                    UTRR_DEBUG("row scout: evicting group at phys ",
+                               group.basePhysRow, " (row ",
+                               row.logicalRow, " unstable)");
+                    healthy = false;
+                    break;
+                }
+            }
+            if (healthy) {
+                ++i;
+                continue;
+            }
+            for (const ProfiledRow &row : group.rows)
+                burnedPhys.insert(row.physRow);
+            groups.erase(groups.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+            ++evictions;
+            --eviction_budget;
+            evicted_any = true;
+            if (MetricsRegistry *m = host.attachedMetrics())
+                m->counter("row_scout.evictions").inc();
+        }
+        if (!evicted_any)
+            break;
+
+        const int missing =
+            cfg.groupCount - static_cast<int>(groups.size());
+        if (missing <= 0 || groups.empty())
+            break;
+        // Replacements profile at the survivors' shared T; they get the
+        // same stability pass on the next loop iteration.
+        for (RowGroup &fresh :
+             scoutReplacements(groups, groups.front().retention,
+                               missing)) {
+            groups.push_back(std::move(fresh));
+            ++replacements;
+            if (MetricsRegistry *m = host.attachedMetrics())
+                m->counter("row_scout.replacements").inc();
+        }
+    }
+
+    if (static_cast<int>(groups.size()) < cfg.groupCount) {
+        warn(logFmt("row scout re-validation left ", groups.size(),
+                    " of ", cfg.groupCount, " groups after ", evictions,
+                    " evictions"));
+    }
+    return groups;
 }
 
 ExperimentReport
@@ -222,6 +350,10 @@ RowScout::makeReport(const std::vector<RowGroup> &groups) const
                      Json(static_cast<std::uint64_t>(groups.size())));
     report.setResult("validations_run",
                      Json(static_cast<std::uint64_t>(validations)));
+    report.setResult("evictions",
+                     Json(static_cast<std::uint64_t>(evictions)));
+    report.setResult("replacements",
+                     Json(static_cast<std::uint64_t>(replacements)));
     return report;
 }
 

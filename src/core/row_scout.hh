@@ -22,6 +22,7 @@
 #define UTRR_CORE_ROW_SCOUT_HH
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "common/types.hh"
@@ -61,6 +62,21 @@ struct RowScoutConfig
     int consistencyChecks = 1000;
     /** Minimum physical distance between two selected groups. */
     int groupSeparation = 16;
+    /**
+     * Self-healing: post-acceptance stability re-validations per
+     * profiled row (0 disables the pass). Under fault injection a row
+     * can flip to a VRT high-retention mode *after* acceptance; the
+     * re-validation pass catches it, evicts the group and scouts a
+     * replacement at the same retention T.
+     */
+    int revalidateChecks = 0;
+    /** Bounded retries: max group evictions per re-validation pass. */
+    int maxEvictions = 8;
+    /**
+     * Physical rows never to select (e.g. rows burned by a previous
+     * scout whose groups produced degenerate analyzer results).
+     */
+    std::vector<Row> excludePhys;
 };
 
 /**
@@ -94,6 +110,22 @@ class RowScout
     std::uint64_t validationsRun() const { return validations; }
 
     /**
+     * Self-healing pass (also run by scout() when revalidateChecks > 0):
+     * re-validate every group's rows against their profiled retention;
+     * evict groups with a row that no longer holds-then-fails (VRT mode
+     * flip, retention drift), permanently burn the offending rows, and
+     * scout replacement groups at the same retention T. Bounded by
+     * maxEvictions; may return fewer groups than requested.
+     */
+    std::vector<RowGroup> revalidateAndReplace(std::vector<RowGroup> groups);
+
+    /** Groups evicted by re-validation so far. */
+    std::uint64_t evictionsPerformed() const { return evictions; }
+
+    /** Replacement groups found after evictions so far. */
+    std::uint64_t replacementsFound() const { return replacements; }
+
+    /**
      * Build a structured report of a finished scout: profiling config,
      * groups found (base rows, layout, shared retention T) and the
      * validation effort spent.
@@ -103,11 +135,17 @@ class RowScout
   private:
     std::vector<RowGroup> formCandidateGroups(
         const std::map<Row, Time> &first_fail, Time t) const;
+    std::vector<RowGroup> scoutReplacements(
+        const std::vector<RowGroup> &existing, Time t, int needed);
 
     SoftMcHost &host;
     DiscoveredMapping mapping;
     RowScoutConfig cfg;
     std::uint64_t validations = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t replacements = 0;
+    /** Physical rows evicted by re-validation; never selected again. */
+    std::set<Row> burnedPhys;
 };
 
 } // namespace utrr

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 #include "obs/timer.hh"
 
 namespace utrr
@@ -225,7 +226,17 @@ TrrAnalyzer::runExperimentMulti(const std::vector<RowGroup> &groups,
     // Step 4: second half of the retention window.
     host.wait(retention / 2);
 
-    // Step 5: read the victims back.
+    // Step 5: read the victims back. Under active fault injection each
+    // row is read several times and the verdict taken by majority
+    // (quorum voting): a transient read-back corruption then cannot
+    // flip the refreshed/not-refreshed signal the whole methodology
+    // rests on. Repeated reads are side-effect-free — the first ACT of
+    // the read-back already committed all due retention flips.
+    FaultInjector *injector = host.faultInjector();
+    const int votes =
+        injector != nullptr && injector->enabled() && config.readVotes > 1
+            ? config.readVotes
+            : 1;
     {
         SimPhase phase(&host.trace(), "readback", sim_now);
         for (const RowGroup &group : groups) {
@@ -233,12 +244,34 @@ TrrAnalyzer::runExperimentMulti(const std::vector<RowGroup> &groups,
             result.refsBefore = multi.refsBefore;
             result.refsAfter = multi.refsAfter;
             for (const ProfiledRow &row : group.rows) {
-                const RowReadout readout =
-                    host.readRow(bank, row.logicalRow);
-                const int flips = readout.countFlipsVs(
-                    config.victimPattern, row.logicalRow);
-                result.flips.push_back(flips);
-                result.refreshed.push_back(flips == 0);
+                int zero_votes = 0;
+                std::vector<int> counts;
+                counts.reserve(static_cast<std::size_t>(votes));
+                for (int v = 0; v < votes; ++v) {
+                    const RowReadout readout =
+                        host.readRow(bank, row.logicalRow);
+                    const int flips = readout.countFlipsVs(
+                        config.victimPattern, row.logicalRow);
+                    counts.push_back(flips);
+                    if (flips == 0)
+                        ++zero_votes;
+                }
+                const bool refreshed = 2 * zero_votes > votes;
+                // Report the median flip count so one corrupted read
+                // cannot skew the magnitude either.
+                std::sort(counts.begin(), counts.end());
+                result.flips.push_back(
+                    counts[counts.size() / 2]);
+                result.refreshed.push_back(refreshed);
+                if (MetricsRegistry *m = host.attachedMetrics();
+                    m != nullptr && votes > 1) {
+                    m->counter("trr_analyzer.read_votes")
+                        .inc(static_cast<std::uint64_t>(votes));
+                    const bool unanimous =
+                        zero_votes == 0 || zero_votes == votes;
+                    if (!unanimous)
+                        m->counter("trr_analyzer.vote_overrides").inc();
+                }
             }
             multi.perGroup.push_back(std::move(result));
         }

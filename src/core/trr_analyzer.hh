@@ -96,6 +96,17 @@ struct TrrExperimentConfig
      * keeps init ACTs out of ACT-order-sensitive analyses.
      */
     bool skipAggressorInit = false;
+
+    /**
+     * Self-healing: read-back votes per profiled row. When a fault
+     * injector with any active rate is attached to the host, each
+     * profiled row is read this many times and the refreshed/flip
+     * verdict is taken by majority, so transient read-back bit noise
+     * cannot masquerade as a (missed) TRR refresh. Without an active
+     * injector a single read is issued — keeping fault-free runs
+     * bit-identical to the baseline.
+     */
+    int readVotes = 3;
 };
 
 /**

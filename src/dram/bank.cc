@@ -36,8 +36,24 @@ DramBank::rowAt(Row phys_row, Time now)
                                    msToNs(ret.vrtDwellMs),
                                    ret.vrtHighFactor))
                  .first;
+        if (baseRetentionScale != 1.0)
+            it->second.setRetentionScale(baseRetentionScale);
     }
     return it->second;
+}
+
+void
+DramBank::scaleRowRetention(Row phys_row, double factor, Time now)
+{
+    rowAt(phys_row, now).scaleRetention(factor);
+}
+
+void
+DramBank::scaleAllRetention(double factor)
+{
+    baseRetentionScale *= factor;
+    for (auto &[row, state] : rows)
+        state.scaleRetention(factor);
 }
 
 const RowState *

@@ -81,6 +81,19 @@ class DramBank
     /** Number of materialized rows (memory footprint diagnostics). */
     std::size_t materializedRows() const { return rows.size(); }
 
+    /**
+     * Fault-injection hook: multiply one row's retention scale
+     * (materializing the row if needed).
+     */
+    void scaleRowRetention(Row phys_row, double factor, Time now);
+
+    /**
+     * Fault-injection hook: multiply the retention scale of every
+     * materialized row and of all rows materialized later (temperature
+     * drift affects the whole bank).
+     */
+    void scaleAllRetention(double factor);
+
   private:
     void disturbNeighbours(Row aggressor, Time now);
     void disturbOne(Row aggressor, RowState &aggr_state, Row victim,
@@ -88,6 +101,7 @@ class DramBank
 
     Bank id;
     Row physRowCount;
+    double baseRetentionScale = 1.0;
     const PhysicsGenerator *gen;
     std::map<Row, RowState> rows;
     Row open = kInvalidRow;

@@ -217,4 +217,18 @@ DramModule::refsUntilRegularRefresh(Row phys_row) const
     return engine.refsUntilRow(phys_row);
 }
 
+void
+DramModule::scaleRowRetention(Bank bank, Row phys_row, double factor,
+                              Time now)
+{
+    bankAt(bank).scaleRowRetention(phys_row, factor, now);
+}
+
+void
+DramModule::scaleAllRetention(double factor)
+{
+    for (auto &bank : banks)
+        bank.scaleAllRetention(factor);
+}
+
 } // namespace utrr

@@ -107,6 +107,18 @@ class DramModule
     std::uint64_t trrRefreshCount() const { return trrRefreshes; }
 
     // ------------------------------------------------------------------
+    // Fault-injection hooks (see src/fault/). Scaling by exactly 1.0 is
+    // bit-identical to no injection.
+    // ------------------------------------------------------------------
+
+    /** Multiply one physical row's effective retention time. */
+    void scaleRowRetention(Bank bank, Row phys_row, double factor,
+                           Time now);
+
+    /** Multiply every row's effective retention time (temp drift). */
+    void scaleAllRetention(double factor);
+
+    // ------------------------------------------------------------------
     // Observability
     // ------------------------------------------------------------------
 

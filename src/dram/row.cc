@@ -48,6 +48,18 @@ RowReadout::word(int word_idx) const
     return w;
 }
 
+void
+RowReadout::injectFlip(Col col)
+{
+    UTRR_ASSERT(col >= 0 && col < bits,
+                logFmt("injected flip column ", col, " out of range"));
+    const auto it = std::lower_bound(flips.begin(), flips.end(), col);
+    if (it != flips.end() && *it == col)
+        flips.erase(it); // double fault cancels out
+    else
+        flips.insert(it, col);
+}
+
 std::vector<Col>
 RowReadout::flipsVs(const DataPattern &expected, Row expected_row) const
 {
@@ -103,8 +115,14 @@ RowState::storedBit(Col col) const
 Time
 RowState::effectiveRetention(const WeakCell &cell, Time now)
 {
+    // Injected retention scaling (VRT mode flips, temperature drift).
+    // The scale-1.0 fast path keeps the unfaulted simulation bit-exact.
+    const Time retention = retScale == 1.0
+        ? cell.retention
+        : static_cast<Time>(static_cast<double>(cell.retention) *
+                            retScale);
     if (!cell.vrt)
-        return cell.retention;
+        return retention;
 
     // Symmetric random-telegraph process: probability the state differs
     // after dt is (1 - exp(-2 dt / dwell)) / 2.
@@ -119,9 +137,9 @@ RowState::effectiveRetention(const WeakCell &cell, Time now)
         lastVrtCheck = now;
     }
     if (!vrtHigh)
-        return cell.retention;
+        return retention;
     return static_cast<Time>(
-        static_cast<double>(cell.retention) * vrtHighFactor);
+        static_cast<double>(retention) * vrtHighFactor);
 }
 
 void

@@ -70,6 +70,13 @@ class RowReadout
     /** Columns currently flipped relative to the last written data. */
     const std::vector<Col> &rawFlips() const { return flips; }
 
+    /**
+     * Fault-injection hook: toggle one bit of this readout in place
+     * (models a transient read-back corruption on the bus, not a change
+     * to the stored row).
+     */
+    void injectFlip(Col col);
+
   private:
     std::uint64_t storedWord(int word_idx) const;
 
@@ -138,6 +145,17 @@ class RowState
     /** The row's physics (read-only). */
     const RowPhysics &physics() const { return phys; }
 
+    /**
+     * Fault-injection hook: scale the effective retention of every weak
+     * cell in this row (1.0 = nominal). A mid-experiment VRT mode flip
+     * multiplies by the VRT high factor (or its inverse); temperature
+     * drift walks the scale of all rows together. Exactly 1.0 is
+     * guaranteed bit-identical to the unscaled physics.
+     */
+    void scaleRetention(double factor) { retScale *= factor; }
+    void setRetentionScale(double scale) { retScale = scale; }
+    double retentionScale() const { return retScale; }
+
     /** Number of committed flips. */
     std::size_t committedFlipCount() const { return flipped.size(); }
 
@@ -159,6 +177,7 @@ class RowState
     Time lastVrtCheck;
     Time vrtDwell;
     double vrtHighFactor;
+    double retScale = 1.0;
     int bits;
 };
 

@@ -55,15 +55,21 @@ ExperimentReport::attachMetrics(const MetricsRegistry &registry)
     root["metrics"] = registry.toJson();
 }
 
-void
+bool
 ExperimentReport::writeFile(const std::string &path) const
 {
     std::ofstream out(path);
     if (!out) {
         warn(logFmt("cannot write report to ", path));
-        return;
+        return false;
     }
     out << dump() << "\n";
+    out.flush();
+    if (!out) {
+        warn(logFmt("short write while saving report to ", path));
+        return false;
+    }
+    return true;
 }
 
 } // namespace utrr

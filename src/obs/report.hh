@@ -64,8 +64,12 @@ class ExperimentReport
     /** Serialize (pretty-printed). */
     std::string dump() const { return root.dump(1); }
 
-    /** Write to a file; warns (no throw) when the file cannot open. */
-    void writeFile(const std::string &path) const;
+    /**
+     * Write to a file. Returns false (after warning) when the file
+     * cannot be opened or the write fails — callers that persist
+     * results must check and propagate the failure.
+     */
+    [[nodiscard]] bool writeFile(const std::string &path) const;
 
   private:
     Json root;

@@ -28,6 +28,8 @@ traceKindName(TraceKind kind)
         return "PHASE_BEGIN";
       case TraceKind::kPhaseEnd:
         return "PHASE_END";
+      case TraceKind::kFault:
+        return "FAULT";
     }
     return "?";
 }
@@ -94,6 +96,17 @@ CommandTrace::endPhase(const std::string &name, Time now)
     advance();
 }
 
+void
+CommandTrace::recordFault(const std::string &what, Bank bank, Row row,
+                          Time now)
+{
+    if (cap == 0)
+        return;
+    TraceEvent &slot = ring[head];
+    slot = TraceEvent{TraceKind::kFault, bank, row, now, 0, intern(what)};
+    advance();
+}
+
 std::vector<TraceEvent>
 CommandTrace::events() const
 {
@@ -112,9 +125,9 @@ CommandTrace::text() const
     std::ostringstream oss;
     for (const TraceEvent &event : events()) {
         oss << event.start << "ns " << traceKindName(event.kind);
-        if (event.phase != nullptr) {
+        if (event.phase != nullptr)
             oss << " " << event.phase;
-        } else {
+        if (event.phase == nullptr || event.kind == TraceKind::kFault) {
             oss << " bank=" << event.bank;
             if (event.row != kInvalidRow)
                 oss << " row=" << event.row;
@@ -144,17 +157,25 @@ CommandTrace::exportChromeTrace(std::ostream &os) const
     traceEvents = Json::array();
     for (const TraceEvent &event : ordered) {
         Json entry = Json::object();
-        const bool is_phase = event.phase != nullptr;
-        entry["name"] = Json(is_phase ? event.phase
-                                      : traceKindName(event.kind));
-        entry["ph"] = Json(is_phase
-                               ? (event.kind == TraceKind::kPhaseBegin
-                                      ? "B"
-                                      : "E")
-                               : "X");
+        const bool is_phase = event.kind == TraceKind::kPhaseBegin ||
+                              event.kind == TraceKind::kPhaseEnd;
+        const bool is_fault = event.kind == TraceKind::kFault;
+        entry["name"] = Json(event.phase != nullptr
+                                 ? event.phase
+                                 : traceKindName(event.kind));
+        if (is_phase)
+            entry["ph"] = Json(event.kind == TraceKind::kPhaseBegin
+                                   ? "B"
+                                   : "E");
+        else if (is_fault)
+            entry["ph"] = Json("i"); // instant marker
+        else
+            entry["ph"] = Json("X");
+        if (is_fault)
+            entry["s"] = Json("g"); // global-scope instant
         // trace_event timestamps are microseconds; keep sub-ns detail.
         entry["ts"] = Json(static_cast<double>(event.start) / 1e3);
-        if (!is_phase)
+        if (!is_phase && !is_fault)
             entry["dur"] =
                 Json(static_cast<double>(event.duration) / 1e3);
         entry["pid"] = Json(0);

@@ -36,6 +36,7 @@ enum class TraceKind : std::uint8_t
     kWait,
     kPhaseBegin,
     kPhaseEnd,
+    kFault,
 };
 
 /** Short mnemonic ("ACT", "REF", ...). */
@@ -92,6 +93,14 @@ class CommandTrace
     /** Record a phase marker (names are interned; no-op if disabled). */
     void beginPhase(const std::string &name, Time now);
     void endPhase(const std::string &name, Time now);
+
+    /**
+     * Record an injected-fault event ("drop_ref", "vrt_flip", ...) as
+     * an instant marker; @p row may be kInvalidRow when the fault is
+     * not row-specific.
+     */
+    void recordFault(const std::string &what, Bank bank, Row row,
+                     Time now);
 
     std::size_t capacity() const { return cap; }
 

@@ -3,13 +3,73 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 
 namespace utrr
 {
 
+WatchdogTimeout::WatchdogTimeout(Time budget_ns, Time deadline_ns,
+                                 Time now_ns, std::uint64_t acts_issued,
+                                 std::uint64_t refs_issued)
+    : std::runtime_error(logFmt(
+          "watchdog budget of ", budget_ns, "ns exceeded: now=", now_ns,
+          "ns deadline=", deadline_ns, "ns after ", acts_issued,
+          " ACTs / ", refs_issued, " REFs")),
+      budgetNs(budget_ns), deadlineNs(deadline_ns), nowNs(now_ns),
+      actsIssued(acts_issued), refsIssued(refs_issued)
+{
+}
+
 SoftMcHost::SoftMcHost(DramModule &module, Timing timing)
     : dram(module), timingParams(timing)
 {
+}
+
+void
+SoftMcHost::attachMetrics(MetricsRegistry *registry)
+{
+    metrics = registry;
+    dram.attachMetrics(registry);
+    if (fault != nullptr)
+        fault->attachMetrics(registry);
+}
+
+void
+SoftMcHost::attachFaultInjector(FaultInjector *injector)
+{
+    if (fault != nullptr && fault != injector)
+        fault->attachTrace(nullptr);
+    fault = injector;
+    if (fault != nullptr) {
+        fault->attachTrace(&cmdTrace);
+        if (metrics != nullptr)
+            fault->attachMetrics(metrics);
+    }
+}
+
+void
+SoftMcHost::setWatchdogBudget(Time budget_ns)
+{
+    if (budget_ns <= 0) {
+        clearWatchdog();
+        return;
+    }
+    wdBudget = budget_ns;
+    wdDeadline = clock + budget_ns;
+}
+
+void
+SoftMcHost::clearWatchdog()
+{
+    wdBudget = 0;
+    wdDeadline = -1;
+}
+
+void
+SoftMcHost::checkWatchdog()
+{
+    if (wdDeadline >= 0 && clock > wdDeadline)
+        throw WatchdogTimeout(wdBudget, wdDeadline, clock, acts, refCmds);
 }
 
 void
@@ -42,6 +102,7 @@ SoftMcHost::act(Bank bank, Row row)
     cmdTrace.record(TraceKind::kAct, bank, row, clock, timingParams.tRAS);
     clock += timingParams.tRAS;
     ++acts;
+    checkWatchdog();
 }
 
 void
@@ -56,7 +117,10 @@ SoftMcHost::pre(Bank bank)
 void
 SoftMcHost::wr(Bank bank, const DataPattern &pattern)
 {
-    dram.wr(bank, pattern, clock);
+    // A dropped WR occupies the bus but leaves the row's old contents
+    // in place; the consumer sees it as massive unexpected flips.
+    if (fault == nullptr || !fault->shouldDropWr(bank, clock))
+        dram.wr(bank, pattern, clock);
     cmdTrace.record(TraceKind::kWr, bank, kInvalidRow, clock,
                     timingParams.tBURST);
     clock += timingParams.tBURST;
@@ -74,7 +138,11 @@ SoftMcHost::wrWord(Bank bank, int word_idx, std::uint64_t value)
 RowReadout
 SoftMcHost::rd(Bank bank)
 {
+    if (fault != nullptr)
+        fault->onRowRead(dram, bank, dram.bankAt(bank).openRow(), clock);
     RowReadout readout = dram.rd(bank);
+    if (fault != nullptr)
+        fault->corruptReadout(readout, bank, clock);
     cmdTrace.record(TraceKind::kRd, bank, kInvalidRow, clock,
                     timingParams.tBURST);
     clock += timingParams.tBURST;
@@ -86,11 +154,15 @@ SoftMcHost::ref()
 {
     if (mitigation != nullptr)
         mitigation->onRefresh(clock);
-    dram.ref(clock);
+    // A dropped REF occupies the bus and counts on the host side, but
+    // the module never performs the refresh sweep.
+    if (fault == nullptr || !fault->shouldDropRef(clock))
+        dram.ref(clock);
     cmdTrace.record(TraceKind::kRef, 0, kInvalidRow, clock,
                     timingParams.tRFC);
     clock += timingParams.tRFC;
     ++refCmds;
+    checkWatchdog();
 }
 
 void
@@ -103,10 +175,17 @@ SoftMcHost::refBurst(int count)
 void
 SoftMcHost::refAtDefaultRate(int count)
 {
+    const Time start = clock;
     for (int i = 0; i < count; ++i) {
         ref();
-        clock += timingParams.tREFI - timingParams.tRFC;
+        Time gap = timingParams.tREFI - timingParams.tRFC;
+        if (fault != nullptr)
+            gap += fault->refJitter(clock);
+        clock += gap;
     }
+    if (fault != nullptr)
+        fault->onTimeAdvance(dram, start, clock);
+    checkWatchdog();
 }
 
 void
@@ -114,18 +193,29 @@ SoftMcHost::wait(Time ns)
 {
     UTRR_ASSERT(ns >= 0, "cannot wait negative time");
     cmdTrace.record(TraceKind::kWait, 0, kInvalidRow, clock, ns);
+    const Time start = clock;
     clock += ns;
+    if (fault != nullptr)
+        fault->onTimeAdvance(dram, start, clock);
+    checkWatchdog();
 }
 
 void
 SoftMcHost::waitWithRefresh(Time ns)
 {
+    const Time start = clock;
     const Time deadline = clock + ns;
     while (clock + timingParams.tREFI <= deadline) {
-        clock += timingParams.tREFI - timingParams.tRFC;
+        Time gap = timingParams.tREFI - timingParams.tRFC;
+        if (fault != nullptr)
+            gap += fault->refJitter(clock);
+        clock += gap;
         ref();
     }
     clock = std::max(clock, deadline);
+    if (fault != nullptr)
+        fault->onTimeAdvance(dram, start, clock);
+    checkWatchdog();
 }
 
 void
@@ -146,12 +236,28 @@ SoftMcHost::readRow(Bank bank, Row row)
 }
 
 void
+SoftMcHost::hammerOnce(Bank bank, Row row)
+{
+    if (fault != nullptr && fault->shouldDropHammerAct(bank, row, clock)) {
+        // The cycle burns bus time and counts on the host side, but the
+        // module never sees the activation (no disturbance, no TRR
+        // sampling).
+        cmdTrace.record(TraceKind::kAct, bank, row, clock,
+                        timingParams.tRAS);
+        clock += timingParams.hammerCycle();
+        ++acts;
+        checkWatchdog();
+        return;
+    }
+    act(bank, row);
+    pre(bank);
+}
+
+void
 SoftMcHost::hammer(Bank bank, Row row, int count)
 {
-    for (int i = 0; i < count; ++i) {
-        act(bank, row);
-        pre(bank);
-    }
+    for (int i = 0; i < count; ++i)
+        hammerOnce(bank, row);
 }
 
 void
@@ -168,8 +274,7 @@ SoftMcHost::hammerInterleaved(
         for (std::size_t i = 0; i < rows.size(); ++i) {
             if (left[i] <= 0)
                 continue;
-            act(rows[i].first, rows[i].second);
-            pre(rows[i].first);
+            hammerOnce(rows[i].first, rows[i].second);
             if (--left[i] > 0)
                 remaining = true;
         }
@@ -206,11 +311,14 @@ SoftMcHost::hammerMultiBank(
                 penalty += clock - before;
                 clock = before;
             }
-            dram.act(bank, row, clock);
-            dram.pre(bank, clock);
             cmdTrace.record(TraceKind::kAct, bank, row, clock,
                             timingParams.tRAS);
             ++acts;
+            if (fault != nullptr &&
+                fault->shouldDropHammerAct(bank, row, clock))
+                continue; // bus slot burnt, module never sees the ACT
+            dram.act(bank, row, clock);
+            dram.pre(bank, clock);
         }
     }
     const Time per_bank_bound =
@@ -218,6 +326,7 @@ SoftMcHost::hammerMultiBank(
     const Time tfaw_bound = static_cast<Time>(count_each) * banks *
         timingParams.tFAW / 4;
     clock = start + std::max(per_bank_bound, tfaw_bound) + penalty;
+    checkWatchdog();
 }
 
 ExecResult

@@ -15,6 +15,8 @@
 #ifndef UTRR_SOFTMC_HOST_HH
 #define UTRR_SOFTMC_HOST_HH
 
+#include <cstdint>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -28,6 +30,31 @@
 
 namespace utrr
 {
+
+class FaultInjector;
+
+/**
+ * Structured error thrown when a simulated-time watchdog budget set via
+ * SoftMcHost::setWatchdogBudget expires. Experiments that can hang under
+ * fault injection (e.g. a retry loop whose candidate rows keep dying)
+ * catch this and fail the run cleanly instead of spinning forever.
+ */
+class WatchdogTimeout : public std::runtime_error
+{
+  public:
+    WatchdogTimeout(Time budget_ns, Time deadline_ns, Time now_ns,
+                    std::uint64_t acts_issued, std::uint64_t refs_issued);
+
+    /** Budget the watchdog was armed with (ns of simulated time). */
+    Time budgetNs;
+    /** Simulated deadline that was crossed. */
+    Time deadlineNs;
+    /** Simulated time when the overrun was detected. */
+    Time nowNs;
+    /** Commands issued by the host up to the overrun. */
+    std::uint64_t actsIssued;
+    std::uint64_t refsIssued;
+};
 
 /** One captured READ result. */
 struct ReadRecord
@@ -140,6 +167,33 @@ class SoftMcHost
 
     ControllerMitigation *attachedMitigation() { return mitigation; }
 
+    // --- fault injection & watchdog -------------------------------------
+
+    /**
+     * Attach a fault injector (not owned; nullptr detaches). The host
+     * consults it on every REF/WR/RD, hammer cycle and bulk time
+     * advance; the injector records its events into this host's command
+     * trace and, when a metrics registry is attached, its counters.
+     * An injector whose every rate is zero is guaranteed bit-identical
+     * to no injector at all.
+     */
+    void attachFaultInjector(FaultInjector *injector);
+
+    FaultInjector *faultInjector() { return fault; }
+
+    /**
+     * Arm (or re-arm) a simulated-time watchdog: once the clock passes
+     * now() + @p budget_ns, the next command throws WatchdogTimeout.
+     * A non-positive budget disarms.
+     */
+    void setWatchdogBudget(Time budget_ns);
+
+    /** Disarm the watchdog. */
+    void clearWatchdog();
+
+    /** Armed deadline (ns of simulated time), or -1 when disarmed. */
+    Time watchdogDeadline() const { return wdDeadline; }
+
     // --- observability --------------------------------------------------
 
     /**
@@ -152,18 +206,17 @@ class SoftMcHost
 
     /**
      * Attach a metrics registry (not owned; nullptr detaches). Forwards
-     * to the DRAM module so substrate metrics land in the same registry.
+     * to the DRAM module — and to an attached fault injector — so
+     * substrate and fault metrics land in the same registry.
      */
-    void attachMetrics(MetricsRegistry *registry)
-    {
-        metrics = registry;
-        dram.attachMetrics(registry);
-    }
+    void attachMetrics(MetricsRegistry *registry);
 
     MetricsRegistry *attachedMetrics() { return metrics; }
 
   private:
     void applyMitigation(Bank bank, Row row);
+    void hammerOnce(Bank bank, Row row);
+    void checkWatchdog();
 
     DramModule &dram;
     Timing timingParams;
@@ -171,6 +224,9 @@ class SoftMcHost
     std::uint64_t acts = 0;
     std::uint64_t refCmds = 0;
     ControllerMitigation *mitigation = nullptr;
+    FaultInjector *fault = nullptr;
+    Time wdBudget = 0;
+    Time wdDeadline = -1;
     CommandTrace cmdTrace;
     MetricsRegistry *metrics = nullptr;
 };

@@ -122,7 +122,7 @@ TEST(ExperimentReport, WriteFileRoundTrips)
 
     const std::string path =
         testing::TempDir() + "utrr_report_test.json";
-    report.writeFile(path);
+    ASSERT_TRUE(report.writeFile(path));
 
     std::ifstream in(path);
     ASSERT_TRUE(in.good());

@@ -146,5 +146,45 @@ TEST(Rng, HashMixIsDeterministic)
     EXPECT_NE(hashMix(12345), hashMix(12346));
 }
 
+TEST(Rng, HashStringIsStable)
+{
+    // FNV-1a is a fixed algorithm: pin a known value so a silent change
+    // of the hash (which would reshuffle every named stream) is caught.
+    EXPECT_EQ(hashString(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(hashString("fault.vrt"), hashString("fault.vrt"));
+    EXPECT_NE(hashString("fault.vrt"), hashString("fault.noise"));
+}
+
+TEST(Rng, NamedForkIsDeterministic)
+{
+    Rng a(7);
+    Rng b(7);
+    Rng fa = a.fork("fault.vrt");
+    Rng fb = b.fork("fault.vrt");
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(fa.next(), fb.next());
+}
+
+TEST(Rng, NamedForkStreamsDiffer)
+{
+    Rng a(7);
+    Rng f1 = a.fork("fault.vrt");
+    Rng f2 = a.fork("fault.noise");
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += f1.next() == f2.next() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NamedForkMatchesNumericForkOfHash)
+{
+    Rng a(7);
+    Rng b(7);
+    Rng named = a.fork("stream");
+    Rng numeric = b.fork(hashString("stream"));
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(named.next(), numeric.next());
+}
+
 } // namespace
 } // namespace utrr
