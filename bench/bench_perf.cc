@@ -4,16 +4,26 @@
  * the substrate. These gate the wall-clock cost of the experiment
  * harnesses (a full Fig. 9 sweep issues hundreds of millions of ACTs).
  *
- * Results also land in BENCH_perf.json (via the metrics registry) so
- * runs can be diffed mechanically.
+ * On top of the microbenches, a campaign section measures the parallel
+ * runner: the identification battery over a vendor-balanced module
+ * subset at --jobs 1 vs --jobs hw_concurrency, recording both wall
+ * times and the speedup (and asserting the verdicts are bit-identical,
+ * the runner's determinism contract).
+ *
+ * Results land in BENCH_perf.json with populated rounds (one per
+ * benchmark run), results (campaign + speedup summary) and timing
+ * (campaign wall time), so runs can be diffed mechanically.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "attack/sweep.hh"
 #include "core/row_scout.hh"
 #include "dram/module.hh"
 #include "obs/report.hh"
+#include "runner/reveng_job.hh"
 #include "softmc/host.hh"
 
 namespace
@@ -121,14 +131,15 @@ BENCHMARK(BM_AttackPosition);
 
 /**
  * Console reporter that additionally captures every run into a metrics
- * registry: "<benchmark>.real_ns" / ".items_per_second" gauges and
- * "<benchmark>.iterations" counters.
+ * registry ("<benchmark>.real_ns" / ".items_per_second" gauges and
+ * "<benchmark>.iterations" counters) and into per-benchmark report
+ * rounds, so the JSON artifact carries the full per-run timing.
  */
 class RegistryReporter : public benchmark::ConsoleReporter
 {
   public:
-    explicit RegistryReporter(MetricsRegistry &registry)
-        : registry(registry)
+    RegistryReporter(MetricsRegistry &registry, ExperimentReport &report)
+        : registry(registry), report(report)
     {
     }
 
@@ -140,21 +151,70 @@ class RegistryReporter : public benchmark::ConsoleReporter
             if (run.error_occurred)
                 continue;
             const std::string name = run.benchmark_name();
-            registry.gauge(name + ".real_ns")
-                .set(run.GetAdjustedRealTime());
+            const double real_ns = run.GetAdjustedRealTime();
+            registry.gauge(name + ".real_ns").set(real_ns);
             registry.counter(name + ".iterations")
                 .inc(static_cast<std::uint64_t>(run.iterations));
+            ++benchmarks;
+
+            Json round = Json::object();
+            round["benchmark"] = Json(name);
+            round["real_ns"] = Json(real_ns);
+            round["iterations"] =
+                Json(static_cast<std::int64_t>(run.iterations));
             const auto items = run.counters.find("items_per_second");
             if (items != run.counters.end()) {
                 registry.gauge(name + ".items_per_second")
                     .set(items->second);
+                round["items_per_second"] = Json(double(items->second));
             }
+            report.addRound(std::move(round));
         }
     }
 
+    int benchmarkCount() const { return benchmarks; }
+
   private:
     MetricsRegistry &registry;
+    ExperimentReport &report;
+    int benchmarks = 0;
 };
+
+/**
+ * Vendor-balanced module subset for the campaign speedup measurement:
+ * big enough to keep every worker busy, small enough that the bench
+ * stays minutes, not hours, on one core.
+ */
+std::vector<ModuleSpec>
+campaignSpecs()
+{
+    std::vector<ModuleSpec> specs;
+    for (const ModuleSpec &spec : allModuleSpecs()) {
+        // A0, A3, ..., C12: every third module of each vendor.
+        const int idx = spec.name[1] - '0';
+        if ((spec.name.size() == 2 && idx % 3 == 0) ||
+            spec.name == "A12" || spec.name == "B12" ||
+            spec.name == "C12")
+            specs.push_back(spec);
+    }
+    return specs;
+}
+
+/** Wall milliseconds of one battery campaign at the given job count. */
+double
+campaignWallMs(const std::vector<ModuleSpec> &specs, int jobs,
+               CampaignResult &result_out)
+{
+    CampaignConfig config;
+    config.jobs = jobs;
+    config.seed = 1;
+    CampaignRunner runner(config);
+    const auto begin = std::chrono::steady_clock::now();
+    result_out =
+        runner.run(specs, makeIdentifyJob(IdentifyJobConfig::battery()));
+    const auto delta = std::chrono::steady_clock::now() - begin;
+    return std::chrono::duration<double, std::milli>(delta).count();
+}
 
 } // namespace
 
@@ -166,13 +226,49 @@ main(int argc, char **argv)
         return 1;
 
     MetricsRegistry registry;
-    RegistryReporter reporter(registry);
+    ExperimentReport report("bench_perf");
+    RegistryReporter reporter(registry, report);
     benchmark::RunSpecifiedBenchmarks(&reporter);
 
-    ExperimentReport report("bench_perf");
+    // Campaign speedup: the identification battery serial vs parallel.
+    const std::vector<ModuleSpec> specs = campaignSpecs();
+    const int parallel_jobs = CampaignRunner::hardwareConcurrency();
+    CampaignResult serial;
+    CampaignResult parallel;
+    const double serial_ms = campaignWallMs(specs, 1, serial);
+    const double parallel_ms =
+        campaignWallMs(specs, parallel_jobs, parallel);
+    const double speedup =
+        parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+    const bool identical =
+        serial.verdicts().dump() == parallel.verdicts().dump();
+
+    registry.gauge("runner.serial_ms").set(serial_ms);
+    registry.gauge("runner.parallel_ms").set(parallel_ms);
+    registry.gauge("runner.speedup").set(speedup);
+    registry.gauge("runner.jobs").set(parallel_jobs);
+
+    report.setResult("benchmarks", Json(reporter.benchmarkCount()));
+    report.setResult("campaign_modules",
+                     Json(static_cast<std::uint64_t>(specs.size())));
+    report.setResult("campaign_failures",
+                     Json(serial.failedJobs + parallel.failedJobs));
+    report.setResult("runner_jobs", Json(parallel_jobs));
+    report.setResult("runner_serial_ms", Json(serial_ms));
+    report.setResult("runner_parallel_ms", Json(parallel_ms));
+    report.setResult("runner_speedup", Json(speedup));
+    report.setResult("runner_verdicts_identical", Json(identical));
+    report.setTiming(serial_ms + parallel_ms, 0);
     report.attachMetrics(registry);
     const bool wrote = report.writeFile("BENCH_perf.json");
 
+    std::printf("\nrunner campaign: %zu modules, serial %.0f ms, "
+                "%d jobs %.0f ms, speedup %.2fx, verdicts %s\n",
+                specs.size(), serial_ms, parallel_jobs, parallel_ms,
+                speedup, identical ? "bit-identical" : "DIVERGENT");
+
     benchmark::Shutdown();
-    return wrote ? 0 : 1;
+    return (wrote && identical && serial.allOk() && parallel.allOk())
+        ? 0
+        : 1;
 }

@@ -4,7 +4,8 @@
  * narrating each discovery the way §6 of the paper does.
  *
  * Usage: reverse_engineer [MODULE] [--fast] [--trace FILE]
- *                         [--report FILE] [--chaos SEED]
+ *                         [--report FILE] [--battery [SEED]]
+ *                         [--chaos SEED] [--jobs N]
  *
  * With --trace, every DDR command of the session is recorded (bounded
  * ring buffer) and written as Chrome trace_event JSON — open the file
@@ -14,14 +15,22 @@
  * With --report, a structured ExperimentReport (JSON) of the session is
  * written; a failed write exits non-zero.
  *
- * With --chaos, the TRR-to-REF ratio and neighbour count are instead
- * re-derived for ALL 45 modules while a FaultInjector running at the
- * documented chaos rates (FaultConfig::chaosDefaults) perturbs the
- * substrate: VRT flips on profiled rows, temperature drift, read-back
- * bit noise, REF jitter and dropped commands. The self-healing pipeline
- * (Row Scout re-validation/eviction, TRR Analyzer quorum voting,
- * fresh-row retries, simulated-time watchdog) must still identify every
- * module correctly; any mismatch exits non-zero.
+ * With --battery, the TRR-to-REF ratio and neighbour count are instead
+ * re-derived for ALL 45 Table-1 modules through the parallel campaign
+ * runner; any mismatch against ground truth exits non-zero.
+ *
+ * With --chaos, the same 45-module battery runs while a FaultInjector
+ * at the documented chaos rates (FaultConfig::chaosDefaults) perturbs
+ * the substrate: VRT flips on profiled rows, temperature drift,
+ * read-back bit noise, REF jitter and dropped commands. The
+ * self-healing pipeline (Row Scout re-validation/eviction, TRR
+ * Analyzer quorum voting, fresh-row retries, simulated-time watchdog)
+ * must still identify every module correctly.
+ *
+ * --jobs N sets the campaign worker count for both battery modes
+ * (default: hardware concurrency; 1 preserves the serial path).
+ * Results are bit-identical for every N — per-module RNG streams are
+ * forked off the campaign seed by module name, never by schedule.
  *
  * Everything here is black-box: the program only issues DDR commands
  * and reads data back; the TRR implementation inside the simulated
@@ -40,6 +49,7 @@
 #include "dram/module.hh"
 #include "fault/fault_injector.hh"
 #include "obs/report.hh"
+#include "runner/reveng_job.hh"
 #include "softmc/host.hh"
 
 using namespace utrr;
@@ -47,161 +57,123 @@ using namespace utrr;
 namespace
 {
 
-/** Neighbour count the identification should measure for @p spec. */
-int
-expectedNeighbors(const ModuleSpec &spec)
-{
-    return spec.paired() ? 1 : spec.traits().neighborsRefreshed;
-}
-
 /**
- * Chaos sweep: identify every module under default-rate fault
- * injection. Returns the process exit code.
+ * 45-module identification campaign, fault-free (--battery) or under
+ * chaos injection (--chaos). Returns the process exit code.
  */
 int
-runChaosSweep(std::uint64_t seed, const std::string &report_path)
+runBatteryCampaign(bool chaos, std::uint64_t seed, int jobs,
+                   const std::string &report_path)
 {
-    const FaultConfig fault_cfg = FaultConfig::chaosDefaults();
+    CampaignConfig campaign;
+    campaign.jobs = jobs;
+    campaign.seed = seed;
+    campaign.maxWatchdogRetries = 2;
+    if (chaos)
+        campaign.faults = FaultConfig::chaosDefaults();
+    const IdentifyJobConfig job_cfg =
+        chaos ? IdentifyJobConfig::chaos() : IdentifyJobConfig::battery();
 
-    ExperimentReport report("reverse_engineer_chaos");
-    report.setSeed(seed);
-    report.setConfig("vrt_flip_chance",
-                     Json(fault_cfg.vrtFlipChancePerRead));
-    report.setConfig("read_noise_chance",
-                     Json(fault_cfg.readNoiseChancePerRead));
-    report.setConfig("ref_jitter_chance", Json(fault_cfg.refJitterChance));
-    report.setConfig("drop_ref_chance", Json(fault_cfg.dropRefChance));
-    report.setConfig("drop_wr_chance", Json(fault_cfg.dropWrChance));
-    report.setConfig("drop_hammer_act_chance",
-                     Json(fault_cfg.dropHammerActChance));
+    CampaignRunner runner(campaign);
+    std::cout << "== " << (chaos ? "Chaos" : "Battery")
+              << " identification campaign: 45 modules"
+              << (chaos ? " under fault injection" : "") << " (seed "
+              << seed << ", jobs "
+              << (jobs <= 0 ? CampaignRunner::hardwareConcurrency()
+                            : jobs)
+              << ") ==\n\n";
 
-    std::cout << "== Chaos identification sweep: 45 modules under "
-                 "fault injection (seed " << seed << ") ==\n\n";
+    const CampaignResult result =
+        runner.run(allModuleSpecs(), makeIdentifyJob(job_cfg));
+
     std::cout << std::left << std::setw(8) << "Module"
               << std::setw(18) << "TRR/REF (truth)"
               << std::setw(18) << "Neigh (truth)"
               << std::setw(10) << "Faults"
               << std::setw(10) << "Retries"
               << "Verdict\n";
-
-    FaultInjector::Stats total;
-    std::uint64_t total_retries = 0;
-    int failures = 0;
-    std::uint64_t module_index = 0;
-    for (const ModuleSpec &spec : allModuleSpecs()) {
-        DramModule module(spec, 2021);
-        SoftMcHost host(module);
-        MetricsRegistry metrics;
-        host.attachMetrics(&metrics);
-        FaultInjector injector(fault_cfg,
-                               seed * 1'000'003 + module_index++);
-        host.attachFaultInjector(&injector);
-
-        const DiscoveredMapping mapping(spec.scramble, spec.rowsPerBank);
-        TrrRevengConfig cfg;
-        cfg.scoutRowEnd = 6 * 1024;
-        cfg.consistencyChecks = 15;
-        // Under injection the event stream is thinned (broken rows get
-        // quarantined, stolen TRR fires are invisible), so a period-17
-        // module needs a larger sample than the fault-free fast path:
-        // 64 iterations leave it ~3 gap observations, one unlucky
-        // breakage away from a degenerate vote.
-        cfg.periodIterations = 128;
-        cfg.revalidateChecks = 8;
-        TrrReveng reveng(host, mapping, cfg);
-
-        // A per-module watchdog: under injection a sick retry loop must
-        // fail loudly, not hang the sweep. One simulated hour is far
-        // beyond what a healthy identification needs.
-        host.setWatchdogBudget(3'600ll * 1'000'000'000);
-
-        int period = 0;
-        int neighbours = 0;
-        std::string error;
-        try {
-            period = reveng.discoverTrrRefPeriod();
-            neighbours = reveng.discoverNeighborsRefreshed();
-        } catch (const WatchdogTimeout &e) {
-            error = e.what();
-        }
-        host.clearWatchdog();
-
-        const TrrTraits truth = spec.traits();
-        const int want_neigh = expectedNeighbors(spec);
-        const bool ok = error.empty() &&
-                        period == truth.trrToRefPeriod &&
-                        neighbours == want_neigh;
-        failures += ok ? 0 : 1;
-
-        const FaultInjector::Stats &stats = injector.stats();
-        total.vrtFlips += stats.vrtFlips;
-        total.noiseBits += stats.noiseBits;
-        total.jitteredRefs += stats.jitteredRefs;
-        total.droppedRefs += stats.droppedRefs;
-        total.droppedWrs += stats.droppedWrs;
-        total.droppedHammerActs += stats.droppedHammerActs;
-        total.tempSteps += stats.tempSteps;
-        const std::uint64_t retries = reveng.freshRowRetriesPerformed();
-        total_retries += retries;
-        const std::uint64_t fault_events =
-            stats.vrtFlips + stats.noiseBits + stats.jitteredRefs +
+    std::uint64_t total_fresh_retries = 0;
+    for (const ModuleResult &m : result.modules) {
+        const Json &v = m.verdict;
+        auto field = [&v](const char *key) {
+            const Json *found = v.find(key);
+            return found == nullptr ? std::int64_t{0} : found->asInt();
+        };
+        const FaultInjector::Stats &stats = m.faultStats;
+        const std::uint64_t fault_events = stats.vrtFlips +
+            stats.noiseBits + stats.jitteredRefs +
             stats.droppedCommands();
-
-        std::cout << std::left << std::setw(8) << spec.name
+        total_fresh_retries +=
+            static_cast<std::uint64_t>(field("fresh_row_retries"));
+        std::cout << std::left << std::setw(8) << m.module
                   << std::setw(18)
-                  << logFmt("1/", period, " (1/", truth.trrToRefPeriod,
-                            ")")
+                  << logFmt("1/", field("period"), " (1/",
+                            field("period_truth"), ")")
                   << std::setw(18)
-                  << logFmt(neighbours, " (", want_neigh, ")")
+                  << logFmt(field("neighbours"), " (",
+                            field("neighbours_truth"), ")")
                   << std::setw(10) << fault_events
-                  << std::setw(10) << retries
-                  << (ok ? "ok" : "MISMATCH") << "\n";
-        if (!error.empty())
-            std::cout << "        watchdog: " << error << "\n";
-
-        Json entry = Json::object();
-        entry["module"] = Json(spec.name);
-        entry["period"] = Json(period);
-        entry["period_truth"] = Json(truth.trrToRefPeriod);
-        entry["neighbours"] = Json(neighbours);
-        entry["neighbours_truth"] = Json(want_neigh);
-        entry["fault_events"] = Json(fault_events);
-        entry["fresh_row_retries"] = Json(retries);
-        entry["ok"] = Json(ok);
-        if (!error.empty())
-            entry["error"] = Json(error);
-        report.addRound(std::move(entry));
+                  << std::setw(10) << field("fresh_row_retries")
+                  << (m.ok ? "ok" : "MISMATCH")
+                  << (m.attempts > 1
+                          ? logFmt(" (", m.attempts, " attempts)")
+                          : "")
+                  << "\n";
+        if (!m.error.empty())
+            std::cout << "        watchdog: " << m.error << "\n";
     }
 
-    std::cout << "\nInjected faults across the sweep: "
-              << total.vrtFlips << " VRT flips, "
-              << total.noiseBits << " noisy bits, "
-              << total.jitteredRefs << " jittered REF intervals, "
-              << total.droppedCommands() << " dropped commands ("
-              << total.droppedRefs << " REF, " << total.droppedWrs
-              << " WR, " << total.droppedHammerActs << " hammer ACT), "
-              << total.tempSteps << " temperature steps\n";
-    std::cout << "Self-healing: " << total_retries
-              << " fresh-row retries across all modules\n";
-    std::cout << (failures == 0
-                      ? "\nAll 45 modules identified correctly under "
-                        "chaos injection.\n"
-                      : logFmt("\n", failures,
-                               " module(s) MISIDENTIFIED under chaos "
-                               "injection.\n"));
-
-    report.setResult("modules", Json(45));
-    report.setResult("failures", Json(failures));
-    report.setResult("fresh_row_retries", Json(total_retries));
-    report.setResult("dropped_commands", Json(total.droppedCommands()));
-    report.setResult("vrt_flips", Json(total.vrtFlips));
+    const FaultInjector::Stats &total = result.faultTotals;
+    if (chaos) {
+        std::cout << "\nInjected faults across the sweep: "
+                  << total.vrtFlips << " VRT flips, "
+                  << total.noiseBits << " noisy bits, "
+                  << total.jitteredRefs << " jittered REF intervals, "
+                  << total.droppedCommands() << " dropped commands ("
+                  << total.droppedRefs << " REF, " << total.droppedWrs
+                  << " WR, " << total.droppedHammerActs
+                  << " hammer ACT), " << total.tempSteps
+                  << " temperature steps\n";
+        std::cout << "Self-healing: " << total_fresh_retries
+                  << " fresh-row retries across all modules\n";
+    }
+    std::cout << "\nCampaign: " << result.jobsUsed << " worker(s), "
+              << std::fixed << std::setprecision(1) << result.wallMs
+              << " ms wall, " << result.watchdogRetries
+              << " watchdog retries, " << result.quarantinedJobs
+              << " quarantined\n";
+    std::cout << (result.allOk()
+                      ? "All 45 modules identified correctly.\n"
+                      : logFmt(result.failedJobs,
+                               " module(s) MISIDENTIFIED.\n"));
 
     if (!report_path.empty()) {
+        ExperimentReport report(chaos ? "reverse_engineer_chaos"
+                                      : "reverse_engineer_battery");
+        report.setSeed(seed);
+        report.setConfig("jobs", Json(result.jobsUsed));
+        report.setConfig("chaos", Json(chaos));
+        if (chaos) {
+            const FaultConfig &fault_cfg = campaign.faults;
+            report.setConfig("vrt_flip_chance",
+                             Json(fault_cfg.vrtFlipChancePerRead));
+            report.setConfig("read_noise_chance",
+                             Json(fault_cfg.readNoiseChancePerRead));
+            report.setConfig("ref_jitter_chance",
+                             Json(fault_cfg.refJitterChance));
+            report.setConfig("drop_ref_chance",
+                             Json(fault_cfg.dropRefChance));
+            report.setConfig("drop_wr_chance",
+                             Json(fault_cfg.dropWrChance));
+            report.setConfig("drop_hammer_act_chance",
+                             Json(fault_cfg.dropHammerActChance));
+        }
+        result.fillReport(report);
         if (!report.writeFile(report_path))
             return 1;
-        std::cout << "Wrote chaos report to " << report_path << "\n";
+        std::cout << "Wrote campaign report to " << report_path << "\n";
     }
-    return failures == 0 ? 0 : 1;
+    return result.allOk() ? 0 : 1;
 }
 
 } // namespace
@@ -212,8 +184,10 @@ main(int argc, char **argv)
     setLogLevel(LogLevel::kWarn);
     std::string name = "A5";
     bool fast = false;
+    bool battery = false;
     bool chaos = false;
-    std::uint64_t chaos_seed = 1;
+    std::uint64_t campaign_seed = 1;
+    int jobs = 0; // hardware concurrency
     std::string trace_path;
     std::string report_path;
     for (int i = 1; i < argc; ++i) {
@@ -227,18 +201,31 @@ main(int argc, char **argv)
             if (i + 1 >= argc)
                 fatal("--report needs a file argument");
             report_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--battery") == 0) {
+            battery = true;
         } else if (std::strcmp(argv[i], "--chaos") == 0) {
             if (i + 1 >= argc)
                 fatal("--chaos needs a seed argument");
             chaos = true;
-            chaos_seed = std::strtoull(argv[++i], nullptr, 10);
+            campaign_seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            if (i + 1 >= argc)
+                fatal("--seed needs a value");
+            campaign_seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            if (i + 1 >= argc)
+                fatal("--jobs needs a worker count");
+            jobs = std::atoi(argv[++i]);
+            if (jobs < 1)
+                fatal("--jobs needs a positive worker count");
         } else {
             name = argv[i];
         }
     }
 
-    if (chaos)
-        return runChaosSweep(chaos_seed, report_path);
+    if (battery || chaos)
+        return runBatteryCampaign(chaos, campaign_seed, jobs,
+                                  report_path);
 
     const auto spec_opt = findModuleSpec(name);
     if (!spec_opt)

@@ -889,6 +889,24 @@ TrrReveng::discoverRegularRefreshPeriod()
     return period;
 }
 
+TrrReveng::IdentifyOutcome
+TrrReveng::identify()
+{
+    if (cfg.watchdogBudgetNs > 0)
+        host.setWatchdogBudget(cfg.watchdogBudgetNs);
+    IdentifyOutcome outcome;
+    try {
+        outcome.trrToRefPeriod = discoverTrrRefPeriod();
+        outcome.neighborsRefreshed = discoverNeighborsRefreshed();
+    } catch (...) {
+        host.clearWatchdog();
+        throw;
+    }
+    host.clearWatchdog();
+    outcome.freshRowRetries = freshRowRetries;
+    return outcome;
+}
+
 TrrProfile
 TrrReveng::discoverAll(bool include_slow)
 {

@@ -167,6 +167,26 @@ class TrrReveng
     /** Run the full battery. @p include_slow adds capacity/regular. */
     TrrProfile discoverAll(bool include_slow = true);
 
+    /**
+     * Outcome of the campaign-battery identification (the two
+     * properties every Table-1 module can be told apart by).
+     */
+    struct IdentifyOutcome
+    {
+        int trrToRefPeriod = 0;
+        int neighborsRefreshed = 0;
+        /** Fresh-row retries the identification needed. */
+        std::uint64_t freshRowRetries = 0;
+    };
+
+    /**
+     * TRR-to-REF period plus neighbour count under the config's
+     * watchdog budget (cfg.watchdogBudgetNs, 0 = disarmed). A budget
+     * overrun propagates as WatchdogTimeout so a campaign runner can
+     * retry or quarantine the job; the watchdog is disarmed either way.
+     */
+    IdentifyOutcome identify();
+
     // --- primitives shared by the procedures (public for tests) ------
 
     /**

@@ -50,6 +50,18 @@ MetricsRegistry::clear()
     histogramMap.clear();
 }
 
+void
+MetricsRegistry::merge(const MetricsRegistry &other,
+                       const std::string &prefix)
+{
+    for (const auto &[name, c] : other.counters())
+        counter(prefix + name).inc(c.value);
+    for (const auto &[name, g] : other.gauges())
+        gauge(prefix + name).set(g.value);
+    for (const auto &[name, h] : other.histograms())
+        histogram(prefix + name).merge(h);
+}
+
 Json
 MetricsRegistry::toJson() const
 {

@@ -83,6 +83,18 @@ class MetricsRegistry
     void clear();
 
     /**
+     * Fold @p other into this registry, prepending @p prefix to every
+     * name: counters add, gauges last-write-wins, histograms merge
+     * bin-wise. With per-source prefixes (e.g. "module.A5.") the result
+     * is independent of merge order, which is how a parallel campaign
+     * combines per-worker registries at join time — each worker writes
+     * its own registry lock-free and the single-threaded merge happens
+     * after the threads are joined.
+     */
+    void merge(const MetricsRegistry &other,
+               const std::string &prefix = "");
+
+    /**
      * Snapshot as {"counters": {...}, "gauges": {...},
      * "histograms": {name: {value: count, ...}}}.
      */

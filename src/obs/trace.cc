@@ -63,6 +63,20 @@ CommandTrace::clear()
     total = 0;
 }
 
+void
+CommandTrace::mergeFrom(const CommandTrace &other)
+{
+    if (cap == 0)
+        return;
+    for (const TraceEvent &event : other.events()) {
+        TraceEvent &slot = ring[head];
+        slot = event;
+        if (event.phase != nullptr)
+            slot.phase = intern(event.phase);
+        advance();
+    }
+}
+
 const char *
 CommandTrace::intern(const std::string &name)
 {

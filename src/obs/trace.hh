@@ -116,6 +116,16 @@ class CommandTrace
     /** Drop events, keep capacity. */
     void clear();
 
+    /**
+     * Append every event currently held by @p other (oldest first),
+     * re-interning phase names so the copies outlive @p other. This is
+     * the join-time path for parallel campaigns: each worker records
+     * into its own ring lock-free, and the merged buffer is assembled
+     * single-threaded after the workers are joined. No-op while
+     * disabled; the ring's capacity bounds the merged result as usual.
+     */
+    void mergeFrom(const CommandTrace &other);
+
     /** Held events, oldest first. */
     std::vector<TraceEvent> events() const;
 

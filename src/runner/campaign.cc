@@ -1,0 +1,268 @@
+#include "runner/campaign.hh"
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace utrr
+{
+
+namespace
+{
+
+double
+elapsedMs(std::chrono::steady_clock::time_point begin)
+{
+    const auto delta = std::chrono::steady_clock::now() - begin;
+    return std::chrono::duration<double, std::milli>(delta).count();
+}
+
+void
+accumulate(FaultInjector::Stats &into, const FaultInjector::Stats &from)
+{
+    into.vrtFlips += from.vrtFlips;
+    into.noiseBits += from.noiseBits;
+    into.jitteredRefs += from.jitteredRefs;
+    into.droppedRefs += from.droppedRefs;
+    into.droppedWrs += from.droppedWrs;
+    into.droppedHammerActs += from.droppedHammerActs;
+    into.tempSteps += from.tempSteps;
+}
+
+std::uint64_t
+faultEventCount(const FaultInjector::Stats &stats)
+{
+    return stats.vrtFlips + stats.noiseBits + stats.jitteredRefs +
+        stats.droppedCommands();
+}
+
+} // namespace
+
+CampaignRunner::CampaignRunner(CampaignConfig config) : cfg(config)
+{
+}
+
+int
+CampaignRunner::hardwareConcurrency()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ModuleResult
+CampaignRunner::runJob(const ModuleSpec &spec, std::uint64_t index,
+                       const JobFn &fn) const
+{
+    ModuleResult result;
+    result.module = spec.name;
+    result.index = index;
+    const auto wall_begin = std::chrono::steady_clock::now();
+
+    const int max_attempts = 1 + std::max(0, cfg.maxWatchdogRetries);
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        ++result.attempts;
+
+        // A fresh substrate per attempt: a job that died mid-experiment
+        // must not leak hammered rows or drifted retention into its
+        // retry, and jobs never share an instance with one another.
+        DramModule module(spec, cfg.moduleSeed);
+        SoftMcHost host(module);
+        MetricsRegistry metrics;
+        host.attachMetrics(&metrics);
+        if (cfg.traceCapacity > 0)
+            host.trace().enable(cfg.traceCapacity);
+
+        std::optional<FaultInjector> injector;
+        if (cfg.faults.anyEnabled()) {
+            // Attempt 0 reproduces the historical serial chaos-sweep
+            // seeding exactly; retries re-salt so a deterministic
+            // failure is not simply replayed.
+            std::uint64_t fault_seed = cfg.seed * 1'000'003 + index;
+            if (attempt > 0)
+                fault_seed = hashMix(
+                    fault_seed ^
+                    hashMix(static_cast<std::uint64_t>(attempt)));
+            injector.emplace(cfg.faults, fault_seed);
+            host.attachFaultInjector(&*injector);
+        }
+        if (cfg.watchdogBudgetNs > 0)
+            host.setWatchdogBudget(cfg.watchdogBudgetNs);
+
+        // Job-keyed RNG: forked off the campaign seed by module name,
+        // never by worker id or arrival order.
+        Rng job_rng = Rng(cfg.seed).fork(spec.name);
+        if (attempt > 0)
+            job_rng = job_rng.fork(static_cast<std::uint64_t>(attempt));
+
+        JobContext ctx{spec,
+                       index,
+                       attempt,
+                       job_rng,
+                       module,
+                       host,
+                       injector ? &*injector : nullptr,
+                       metrics};
+
+        auto capture = [&]() {
+            result.metrics = metrics;
+            result.traceEvents = host.trace().events();
+            result.traceRecorded = host.trace().recorded();
+            if (injector)
+                result.faultStats = injector->stats();
+            result.simNs = host.now();
+        };
+
+        try {
+            JobOutcome outcome = fn(ctx);
+            result.ok = outcome.ok;
+            result.verdict = std::move(outcome.verdict);
+            result.error.clear();
+            capture();
+            break;
+        } catch (const WatchdogTimeout &e) {
+            result.ok = false;
+            result.error = e.what();
+            capture();
+            if (attempt + 1 == max_attempts)
+                result.quarantined = true;
+        } catch (const std::exception &e) {
+            // Non-watchdog failures are not retried: they indicate a
+            // bug or bad configuration, not a sick-substrate run.
+            result.ok = false;
+            result.error = e.what();
+            capture();
+            break;
+        }
+    }
+
+    result.wallMs = elapsedMs(wall_begin);
+    return result;
+}
+
+CampaignResult
+CampaignRunner::run(const std::vector<ModuleSpec> &specs,
+                    const JobFn &fn) const
+{
+    CampaignResult out;
+    out.modules.resize(specs.size());
+
+    const int want = cfg.jobs <= 0 ? hardwareConcurrency() : cfg.jobs;
+    const int workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(want, 1)),
+        std::max<std::size_t>(specs.size(), 1)));
+    out.jobsUsed = workers;
+
+    const auto wall_begin = std::chrono::steady_clock::now();
+    if (workers <= 1) {
+        // The historical serial path: no threads, campaign order.
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            out.modules[i] = runJob(specs[i], i, fn);
+    } else {
+        // Work queue: an atomic cursor over the spec vector. Each
+        // worker writes only its own results slot, so the pool needs
+        // no locking; the joins below order every write before the
+        // single-threaded aggregation.
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w) {
+            pool.emplace_back([&]() {
+                for (;;) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= specs.size())
+                        return;
+                    out.modules[i] = runJob(specs[i], i, fn);
+                }
+            });
+        }
+        for (std::thread &worker : pool)
+            worker.join();
+    }
+    out.wallMs = elapsedMs(wall_begin);
+
+    // Aggregation: single-threaded, in campaign order, so the merged
+    // registry and rollups are independent of scheduling.
+    Time sim_total = 0;
+    for (const ModuleResult &m : out.modules) {
+        out.watchdogRetries +=
+            static_cast<std::uint64_t>(std::max(m.attempts - 1, 0));
+        out.quarantinedJobs += m.quarantined ? 1 : 0;
+        out.failedJobs += m.ok ? 0 : 1;
+        accumulate(out.faultTotals, m.faultStats);
+        sim_total += m.simNs;
+        out.merged.merge(m.metrics, "module." + m.module + ".");
+    }
+    out.merged.counter("campaign.jobs")
+        .inc(static_cast<std::uint64_t>(out.modules.size()));
+    out.merged.counter("campaign.watchdog_retries")
+        .inc(out.watchdogRetries);
+    out.merged.counter("campaign.quarantined").inc(out.quarantinedJobs);
+    out.merged.counter("campaign.failures").inc(out.failedJobs);
+    out.merged.counter("campaign.fault.events")
+        .inc(faultEventCount(out.faultTotals));
+    out.merged.counter("campaign.fault.dropped_commands")
+        .inc(out.faultTotals.droppedCommands());
+    out.merged.gauge("campaign.workers").set(workers);
+    out.merged.gauge("campaign.wall_ms").set(out.wallMs);
+    out.merged.gauge("campaign.sim_ns")
+        .set(static_cast<double>(sim_total));
+    return out;
+}
+
+Json
+CampaignResult::verdicts() const
+{
+    Json array = Json::array();
+    for (const ModuleResult &m : modules) {
+        Json entry = Json::object();
+        entry["module"] = Json(m.module);
+        entry["ok"] = Json(m.ok);
+        entry["attempts"] = Json(m.attempts);
+        entry["quarantined"] = Json(m.quarantined);
+        if (!m.error.empty())
+            entry["error"] = Json(m.error);
+        entry["verdict"] = m.verdict;
+        array.push(std::move(entry));
+    }
+    return array;
+}
+
+void
+CampaignResult::fillReport(ExperimentReport &report) const
+{
+    Time sim_total = 0;
+    for (const ModuleResult &m : modules) {
+        Json round = Json::object();
+        round["module"] = Json(m.module);
+        round["ok"] = Json(m.ok);
+        round["attempts"] = Json(m.attempts);
+        round["quarantined"] = Json(m.quarantined);
+        if (!m.error.empty())
+            round["error"] = Json(m.error);
+        round["verdict"] = m.verdict;
+        round["fault_events"] = Json(faultEventCount(m.faultStats));
+        round["fresh_trace_events"] = Json(m.traceRecorded);
+        round["wall_ms"] = Json(m.wallMs);
+        round["sim_ns"] = Json(static_cast<std::int64_t>(m.simNs));
+        report.addRound(std::move(round));
+        sim_total += m.simNs;
+    }
+    report.setResult("modules",
+                     Json(static_cast<std::uint64_t>(modules.size())));
+    report.setResult("failures", Json(failedJobs));
+    report.setResult("watchdog_retries", Json(watchdogRetries));
+    report.setResult("quarantined", Json(quarantinedJobs));
+    report.setResult("jobs", Json(jobsUsed));
+    report.setResult("fault_events", Json(faultEventCount(faultTotals)));
+    report.setResult("vrt_flips", Json(faultTotals.vrtFlips));
+    report.setResult("dropped_commands",
+                     Json(faultTotals.droppedCommands()));
+    report.setTiming(wallMs, sim_total);
+    report.attachMetrics(merged);
+}
+
+} // namespace utrr

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Deterministic parallel campaign engine.
+ *
+ * A campaign is a batch of independent module jobs (the Table-1 shape:
+ * one black-box experiment per DDR4 module). CampaignRunner executes
+ * them on a fixed-size worker pool with these guarantees:
+ *
+ *  - **Isolation**: every job (and every retry attempt) gets a freshly
+ *    constructed DramModule + SoftMcHost + FaultInjector + metrics
+ *    registry + command trace. No simulator state is shared between
+ *    jobs, so workers never need a lock on the hot path.
+ *
+ *  - **Determinism**: each job draws from an RNG forked off the
+ *    campaign seed by module *name* (Rng::fork(name)), and the fault
+ *    injector is seeded from (campaign seed, job index, attempt).
+ *    Results are therefore bit-identical regardless of worker count or
+ *    scheduling order — the property pinned by test_runner's
+ *    serial-vs-parallel equivalence suite.
+ *
+ *  - **Bounded retry**: a job that dies with WatchdogTimeout is retried
+ *    up to maxWatchdogRetries times with an attempt-salted RNG/fault
+ *    stream; on exhaustion it is quarantined (reported, not fatal) and
+ *    the rest of the campaign still completes.
+ *
+ *  - **Order-independent aggregation**: per-job verdicts, metric
+ *    registries, trace buffers and fault tallies are captured into a
+ *    results slot owned by that job alone, then merged single-threaded
+ *    after the pool joins (metrics under a "module.<name>." prefix,
+ *    campaign-level rollups under "campaign.*").
+ *
+ * `jobs = 1` runs everything inline on the calling thread — exactly the
+ * historical serial path, no threads spawned.
+ */
+
+#ifndef UTRR_RUNNER_CAMPAIGN_HH
+#define UTRR_RUNNER_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "dram/module.hh"
+#include "fault/fault_injector.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/trace.hh"
+#include "softmc/host.hh"
+
+namespace utrr
+{
+
+/**
+ * Campaign-wide knobs. The defaults reproduce the historical serial
+ * sweeps: fault-free, no watchdog, no tracing.
+ */
+struct CampaignConfig
+{
+    /** Worker threads; <= 0 selects hardwareConcurrency(). */
+    int jobs = 0;
+
+    /** Campaign master seed; every job forks from it by module name. */
+    std::uint64_t seed = 1;
+
+    /** DramModule physics seed (kept separate so the same silicon can
+     *  be campaigned under different experiment seeds). */
+    std::uint64_t moduleSeed = 2021;
+
+    /** Fault rates; an all-zero config attaches no injector at all. */
+    FaultConfig faults;
+
+    /**
+     * Simulated-time watchdog armed per attempt (0 disarms). Jobs may
+     * additionally arm their own budget (e.g. TrrRevengConfig's).
+     */
+    Time watchdogBudgetNs = 0;
+
+    /** Retries after the first attempt for WatchdogTimeout deaths. */
+    int maxWatchdogRetries = 2;
+
+    /** Per-job command-trace ring capacity (0 = tracing off). */
+    std::size_t traceCapacity = 0;
+};
+
+/** Everything a job body may touch. All of it is job-private. */
+struct JobContext
+{
+    const ModuleSpec &spec;
+    /** Stable campaign position of this job. */
+    std::uint64_t index;
+    /** 0 on the first try, 1.. on watchdog retries. */
+    int attempt;
+    /** Job-keyed fork of the campaign seed (attempt-salted on retry). */
+    Rng rng;
+    DramModule &module;
+    SoftMcHost &host;
+    /** nullptr when the campaign runs fault-free. */
+    FaultInjector *fault;
+    MetricsRegistry &metrics;
+};
+
+/** What a job body returns. */
+struct JobOutcome
+{
+    bool ok = false;
+    /** Free-form verdict payload; byte-compared by equivalence tests,
+     *  so job bodies must keep wall-clock values out of it. */
+    Json verdict;
+};
+
+/**
+ * A job body. Must be safe to call concurrently from several workers:
+ * touch only the JobContext (and immutable campaign inputs), never
+ * shared mutable state.
+ */
+using JobFn = std::function<JobOutcome(JobContext &)>;
+
+/** Result of one module job (its final attempt). */
+struct ModuleResult
+{
+    std::string module;
+    std::uint64_t index = 0;
+    bool ok = false;
+    /** True when watchdog retries were exhausted. */
+    bool quarantined = false;
+    int attempts = 0;
+    /** Last error (watchdog/exception text); empty on success. */
+    std::string error;
+    Json verdict;
+    /** Job-private registry captured at job end. */
+    MetricsRegistry metrics;
+    FaultInjector::Stats faultStats;
+    std::vector<TraceEvent> traceEvents;
+    std::uint64_t traceRecorded = 0;
+    double wallMs = 0.0;
+    Time simNs = 0;
+};
+
+/** Aggregated campaign outcome. */
+struct CampaignResult
+{
+    /** Per-module results in campaign (input) order. */
+    std::vector<ModuleResult> modules;
+    int jobsUsed = 1;
+    double wallMs = 0.0;
+    std::uint64_t watchdogRetries = 0;
+    std::uint64_t quarantinedJobs = 0;
+    /** Jobs whose final attempt was not ok (includes quarantined). */
+    std::uint64_t failedJobs = 0;
+    FaultInjector::Stats faultTotals;
+    /**
+     * Per-module registries merged under "module.<name>." plus
+     * campaign rollup metrics ("campaign.*"). Counters and histograms
+     * are deterministic; "campaign.wall_ms" (a gauge) is not.
+     */
+    MetricsRegistry merged;
+
+    bool allOk() const { return failedJobs == 0; }
+
+    /**
+     * Deterministic per-module verdict array (campaign order): module,
+     * ok, attempts, quarantined, error and the job's verdict payload.
+     * dump() of this value is the byte-equality surface of the
+     * serial-vs-parallel tests.
+     */
+    Json verdicts() const;
+
+    /**
+     * Fill @p report with per-module rounds, campaign-level results
+     * (failures, retries, fault-event totals), timing (campaign wall
+     * time + summed simulated time) and the merged metrics snapshot.
+     */
+    void fillReport(ExperimentReport &report) const;
+};
+
+/**
+ * The runner. Stateless between run() calls; a single instance may be
+ * reused for several campaigns.
+ */
+class CampaignRunner
+{
+  public:
+    explicit CampaignRunner(CampaignConfig config);
+
+    const CampaignConfig &config() const { return cfg; }
+
+    /** Execute @p fn once per spec; blocks until all jobs finished. */
+    CampaignResult run(const std::vector<ModuleSpec> &specs,
+                       const JobFn &fn) const;
+
+    /** Detected hardware concurrency (>= 1). */
+    static int hardwareConcurrency();
+
+  private:
+    ModuleResult runJob(const ModuleSpec &spec, std::uint64_t index,
+                        const JobFn &fn) const;
+
+    CampaignConfig cfg;
+};
+
+} // namespace utrr
+
+#endif // UTRR_RUNNER_CAMPAIGN_HH

@@ -56,6 +56,38 @@ TEST(MetricsRegistry, ToJsonSnapshotsEverything)
               3);
 }
 
+TEST(MetricsRegistry, MergeAddsCountersAndPrefixesNames)
+{
+    MetricsRegistry a;
+    a.counter("dram.acts").inc(5);
+    a.gauge("occupancy").set(0.25);
+    a.histogram("lat").add(10, 2);
+
+    MetricsRegistry b;
+    b.counter("dram.acts").inc(7);
+    b.gauge("occupancy").set(0.75);
+    b.histogram("lat").add(10, 1);
+    b.histogram("lat").add(20, 4);
+
+    // Un-prefixed merge: counters add, gauges last-write-wins,
+    // histograms merge bin-wise.
+    MetricsRegistry merged;
+    merged.merge(a);
+    merged.merge(b);
+    EXPECT_EQ(merged.findCounter("dram.acts")->value, 12u);
+    EXPECT_EQ(merged.findGauge("occupancy")->value, 0.75);
+    EXPECT_EQ(merged.findHistogram("lat")->total(), 7u);
+
+    // Prefixed merge keeps per-source sections disjoint, so the
+    // result is independent of merge order.
+    MetricsRegistry campaign;
+    campaign.merge(a, "module.A5.");
+    campaign.merge(b, "module.B8.");
+    EXPECT_EQ(campaign.findCounter("module.A5.dram.acts")->value, 5u);
+    EXPECT_EQ(campaign.findCounter("module.B8.dram.acts")->value, 7u);
+    EXPECT_EQ(campaign.findCounter("dram.acts"), nullptr);
+}
+
 TEST(ScopedTimer, RecordsHistogramAndCallCounter)
 {
     MetricsRegistry registry;
