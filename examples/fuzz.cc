@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Differential fuzzing CLI.
+ *
+ * Generates protocol-valid SoftMC command programs and checks every one
+ * of them against the naive reference model with the full oracle suite
+ * (differential read-back, DDR timing legality, TRR accounting,
+ * same-seed determinism). Violations are delta-debugged to minimal
+ * repros and optionally persisted as corpus entries.
+ *
+ *   fuzz --module A0 --count 500 --seed 1 --jobs 4
+ *   fuzz --module C3 --count 50 --long-waits --corpus-dir /tmp/corpus
+ *   fuzz --replay tests/corpus/seed-a0-retention.prog
+ *
+ * Exit status: 0 when every program is clean, 1 on any oracle
+ * violation (this is the CI fuzz-smoke contract), 2 on usage errors.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "check/corpus.hh"
+#include "check/fuzz_campaign.hh"
+#include "check/oracles.hh"
+#include "dram/module_spec.hh"
+#include "softmc/assembler.hh"
+#include "trr/trr.hh"
+
+using namespace utrr;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: fuzz [options]\n"
+        "  --module NAME        module spec to fuzz (default A0)\n"
+        "  --count N            programs to check (default 100)\n"
+        "  --seed S             fuzz stream seed (default 1)\n"
+        "  --module-seed M      silicon seed (default 2021)\n"
+        "  --jobs J             worker threads (default 1; 0 = auto)\n"
+        "  --max-ops K          max body ops per program\n"
+        "  --max-hammer N       cap hammer burst length\n"
+        "  --long-waits         always use long decay windows\n"
+        "  --no-minimize        keep findings unminimized\n"
+        "  --corpus-dir DIR     save minimized repros as DIR/*.prog\n"
+        "  --replay FILE        replay one corpus entry instead\n"
+        "  --emit DIR           save generated programs as corpus\n"
+        "                       entries instead of checking them\n"
+        "  --list-modules       print module names and exit\n";
+    return 2;
+}
+
+int
+replayEntry(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::cerr << "fuzz: cannot read " << path << "\n";
+        return 2;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+
+    CorpusEntry entry;
+    const std::string error = parseCorpusEntry(text.str(), entry);
+    if (!error.empty()) {
+        std::cerr << "fuzz: " << path << ": " << error << "\n";
+        return 2;
+    }
+    const auto spec = findModuleSpec(entry.module);
+    if (!spec) {
+        std::cerr << "fuzz: unknown module " << entry.module << "\n";
+        return 2;
+    }
+
+    OracleConfig oracle;
+    oracle.moduleSeed = entry.moduleSeed;
+    const OracleReport report =
+        runOracleSuite(*spec, entry.program, oracle);
+    std::cout << path << " [" << entry.module << ", seed "
+              << entry.moduleSeed << ", " << entry.program.size()
+              << " instrs]: " << report.summary() << "\n";
+    return report.clean() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string module_name = "A0";
+    std::string corpus_dir;
+    std::string replay_path;
+    std::string emit_dir;
+    FuzzCampaignOptions options;
+    options.count = 100;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "fuzz: " << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--module") {
+            module_name = next();
+        } else if (arg == "--count") {
+            options.count = std::stoull(next());
+        } else if (arg == "--seed") {
+            options.fuzzSeed = std::stoull(next());
+        } else if (arg == "--module-seed") {
+            options.oracle.moduleSeed = std::stoull(next());
+        } else if (arg == "--jobs") {
+            options.jobs = std::stoi(next());
+        } else if (arg == "--max-ops") {
+            options.fuzz.maxOps = std::stoi(next());
+            options.fuzz.minOps =
+                std::min(options.fuzz.minOps, options.fuzz.maxOps);
+        } else if (arg == "--max-hammer") {
+            options.fuzz.hammerMax = std::stoi(next());
+            options.fuzz.hammerMin =
+                std::min(options.fuzz.hammerMin, options.fuzz.hammerMax);
+        } else if (arg == "--long-waits") {
+            options.fuzz.longWaitChance = 1.0;
+        } else if (arg == "--no-minimize") {
+            options.minimize = false;
+        } else if (arg == "--corpus-dir") {
+            corpus_dir = next();
+        } else if (arg == "--replay") {
+            replay_path = next();
+        } else if (arg == "--emit") {
+            emit_dir = next();
+        } else if (arg == "--list-modules") {
+            for (const ModuleSpec &spec : allModuleSpecs())
+                std::cout << spec.name << "\n";
+            return 0;
+        } else {
+            return usage();
+        }
+    }
+
+    if (!replay_path.empty())
+        return replayEntry(replay_path);
+
+    const auto spec = findModuleSpec(module_name);
+    if (!spec) {
+        std::cerr << "fuzz: unknown module " << module_name
+                  << " (--list-modules)\n";
+        return 2;
+    }
+
+    if (!emit_dir.empty()) {
+        // Anchor generation: dump fixed-seed programs as corpus
+        // entries (oracle "none") for test_corpus to replay.
+        const ProgramFuzzer fuzzer(*spec, options.fuzz);
+        for (std::uint64_t i = 0; i < options.count; ++i) {
+            CorpusEntry entry;
+            entry.module = spec->name;
+            entry.moduleSeed = options.oracle.moduleSeed;
+            entry.fuzzSeed = options.fuzzSeed;
+            entry.fuzzIndex = i;
+            entry.note = "fixed-seed clean anchor";
+            entry.program = fuzzer.generate(options.fuzzSeed, i);
+            const std::string path = emit_dir + "/" + spec->name +
+                "-s" + std::to_string(options.fuzzSeed) + "-i" +
+                std::to_string(i) + ".prog";
+            const std::string error = saveCorpusEntry(entry, path);
+            if (!error.empty()) {
+                std::cerr << "fuzz: " << error << "\n";
+                return 2;
+            }
+            std::cout << "emitted " << path << " ("
+                      << entry.program.size() << " instrs)\n";
+        }
+        return 0;
+    }
+
+    std::cout << "fuzzing " << spec->name << " (TRR "
+              << trrVersionName(spec->trr) << "): " << options.count
+              << " programs, fuzz seed " << options.fuzzSeed
+              << ", silicon seed " << options.oracle.moduleSeed << "\n";
+
+    const FuzzCampaignResult result = runFuzzCampaign(*spec, options);
+
+    const auto *ops = result.campaign.merged.findCounter(
+        "module." + spec->name + ".fuzz.ops");
+    const auto *reads = result.campaign.merged.findCounter(
+        "module." + spec->name + ".fuzz.reads");
+    std::cout << result.programs << " programs ("
+              << (ops != nullptr ? ops->value : 0) << " instructions, "
+              << (reads != nullptr ? reads->value : 0)
+              << " reads) checked on " << result.campaign.jobsUsed
+              << " worker(s) in " << result.campaign.wallMs << " ms\n";
+
+    if (result.clean()) {
+        std::cout << "all oracles clean\n";
+        return 0;
+    }
+
+    std::cout << result.violating << " violating program(s), "
+              << result.findings.size() << " minimized:\n";
+    for (const FuzzFinding &finding : result.findings) {
+        std::cout << "  #" << finding.index << " [" << finding.oracle
+                  << "] " << finding.detail << "\n"
+                  << "     " << finding.program.size()
+                  << " instrs -> " << finding.minimized.size()
+                  << " after " << finding.minimizeEvaluations
+                  << " evaluations\n";
+        if (corpus_dir.empty())
+            continue;
+        CorpusEntry entry;
+        entry.module = spec->name;
+        entry.moduleSeed = options.oracle.moduleSeed;
+        entry.fuzzSeed = options.fuzzSeed;
+        entry.fuzzIndex = finding.index;
+        entry.oracle = finding.oracle;
+        entry.program = finding.minimized;
+        const std::string path = corpus_dir + "/" + spec->name + "-i" +
+            std::to_string(finding.index) + ".prog";
+        const std::string error = saveCorpusEntry(entry, path);
+        if (error.empty())
+            std::cout << "     saved " << path << "\n";
+        else
+            std::cerr << "     " << error << "\n";
+    }
+    return 1;
+}

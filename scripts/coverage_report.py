@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Per-directory line-coverage summary from a UTRR_COVERAGE build.
+
+Walks a build tree for .gcda files, asks gcov for JSON intermediate
+records, and aggregates executable-line coverage per source directory
+(src/<subsystem>). With --check it enforces the floors recorded in
+scripts/coverage_baseline.txt and exits non-zero when a guarded
+directory regresses.
+
+Usage:
+  cmake -B build-cov -S . -DUTRR_COVERAGE=ON
+  cmake --build build-cov -j
+  (cd build-cov && ctest -L tier1 -j"$(nproc)")
+  python3 scripts/coverage_report.py --build-dir build-cov \
+      --check scripts/coverage_baseline.txt
+
+Only the python3 standard library and the gcov binary matching the
+compiler are required.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+
+def find_gcda(build_dir):
+    out = []
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                out.append(os.path.abspath(os.path.join(root, name)))
+    return sorted(out)
+
+
+def gcov_json_docs(gcda_paths, build_dir, gcov):
+    """Yield parsed gcov JSON documents for every data file."""
+    chunk = 64
+    for i in range(0, len(gcda_paths), chunk):
+        batch = gcda_paths[i:i + chunk]
+        proc = subprocess.run(
+            [gcov, "--stdout", "--json-format", *batch],
+            capture_output=True,
+            text=True,
+            cwd=build_dir,
+            check=False,
+        )
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+def collect_line_hits(docs, source_root):
+    """(relative source file) -> {line: max execution count}."""
+    hits = defaultdict(dict)
+    for doc in docs:
+        for record in doc.get("files", []):
+            path = record.get("file", "")
+            if not os.path.isabs(path):
+                path = os.path.join(source_root, path)
+            rel = os.path.relpath(os.path.realpath(path),
+                                  os.path.realpath(source_root))
+            if rel.startswith(".."):
+                continue  # system headers, gtest, ...
+            if not (rel.startswith("src" + os.sep) or
+                    rel.startswith("examples" + os.sep)):
+                continue
+            file_hits = hits[rel]
+            for entry in record.get("lines", []):
+                num = entry.get("line_number")
+                count = entry.get("count", 0)
+                if num is None:
+                    continue
+                file_hits[num] = max(file_hits.get(num, 0), count)
+    return hits
+
+
+def directory_of(rel_path):
+    """src/dram/bank.cc -> src/dram (two components)."""
+    parts = rel_path.split(os.sep)
+    return os.sep.join(parts[:2]) if len(parts) > 1 else parts[0]
+
+
+def summarize(hits):
+    """dir -> (covered, total) over executable lines."""
+    summary = defaultdict(lambda: [0, 0])
+    for rel, lines in hits.items():
+        entry = summary[directory_of(rel)]
+        entry[0] += sum(1 for c in lines.values() if c > 0)
+        entry[1] += len(lines)
+    return summary
+
+
+def load_baseline(path):
+    floors = {}
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            name, floor = line.split()
+            floors[name] = float(floor)
+    return floors
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="per-directory gcov line-coverage summary")
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--source-root", default=".")
+    parser.add_argument("--gcov", default="gcov")
+    parser.add_argument(
+        "--check", metavar="BASELINE",
+        help="fail when a directory listed in BASELINE is below its "
+             "recorded floor (percent)")
+    args = parser.parse_args()
+
+    gcda = find_gcda(args.build_dir)
+    if not gcda:
+        print(f"coverage_report: no .gcda under {args.build_dir} — "
+              "build with -DUTRR_COVERAGE=ON and run the tests first",
+              file=sys.stderr)
+        return 2
+
+    hits = collect_line_hits(
+        gcov_json_docs(gcda, args.build_dir, args.gcov),
+        args.source_root)
+    if not hits:
+        print("coverage_report: gcov produced no usable records",
+              file=sys.stderr)
+        return 2
+
+    summary = summarize(hits)
+    print(f"{'directory':<20} {'lines':>7} {'covered':>8} {'pct':>7}")
+    percents = {}
+    for name in sorted(summary):
+        covered, total = summary[name]
+        pct = 100.0 * covered / total if total else 0.0
+        percents[name] = pct
+        print(f"{name:<20} {total:>7} {covered:>8} {pct:>6.1f}%")
+
+    if not args.check:
+        return 0
+
+    failed = False
+    for name, floor in sorted(load_baseline(args.check).items()):
+        actual = percents.get(name, 0.0)
+        status = "ok" if actual >= floor else "BELOW BASELINE"
+        print(f"check {name}: {actual:.1f}% vs floor {floor:.1f}% "
+              f"[{status}]")
+        if actual < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

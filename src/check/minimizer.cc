@@ -1,0 +1,94 @@
+#include "check/minimizer.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "check/fuzzer.hh"
+
+namespace utrr
+{
+
+namespace
+{
+
+Program
+toProgram(const std::vector<Instr> &instrs)
+{
+    Program program;
+    for (const Instr &instr : instrs)
+        program.push(instr);
+    return program;
+}
+
+} // namespace
+
+MinimizeResult
+minimizeProgram(const ModuleSpec &spec, const Program &program,
+                const ProgramPredicate &still_failing,
+                MinimizeOptions options)
+{
+    MinimizeResult result;
+
+    const auto evaluate = [&](const std::vector<Instr> &candidate,
+                              Program &repaired_out) {
+        repaired_out = repairProgram(spec, toProgram(candidate));
+        ++result.evaluations;
+        return still_failing(repaired_out);
+    };
+
+    std::vector<Instr> current = program.instructions();
+    Program repaired;
+    if (!evaluate(current, repaired)) {
+        // The input does not fail (or fails only through instructions
+        // the repair pass removes): nothing to minimize.
+        result.program = program;
+        return result;
+    }
+    current = repaired.instructions();
+    result.program = repaired;
+
+    std::size_t granularity = 2;
+    while (current.size() >= 2) {
+        if (result.evaluations >= options.maxEvaluations) {
+            result.converged = false;
+            break;
+        }
+
+        const std::size_t chunk =
+            std::max<std::size_t>(1, (current.size() + granularity - 1) /
+                                         granularity);
+        bool reduced = false;
+        for (std::size_t start = 0; start < current.size();
+             start += chunk) {
+            if (result.evaluations >= options.maxEvaluations) {
+                result.converged = false;
+                break;
+            }
+            std::vector<Instr> candidate;
+            candidate.reserve(current.size());
+            for (std::size_t i = 0; i < current.size(); ++i) {
+                if (i < start || i >= start + chunk)
+                    candidate.push_back(current[i]);
+            }
+            if (candidate.empty())
+                continue;
+            Program candidate_repaired;
+            if (!evaluate(candidate, candidate_repaired))
+                continue;
+            current = candidate_repaired.instructions();
+            result.program = candidate_repaired;
+            granularity = std::max<std::size_t>(granularity - 1, 2);
+            reduced = true;
+            break;
+        }
+        if (reduced)
+            continue;
+        if (chunk <= 1)
+            break; // 1-minimal: no single deletion still fails
+        granularity = std::min(granularity * 2, current.size());
+    }
+
+    return result;
+}
+
+} // namespace utrr

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Delta-debugging minimizer for violating fuzz programs.
+ *
+ * Classic ddmin over the instruction list: repeatedly delete chunks of
+ * instructions (halving granularity as deletions stop succeeding) while
+ * the caller's predicate still reports the violation. Every candidate
+ * subsequence is passed through repairProgram first, so candidates are
+ * always protocol-valid and executable — deleting a PRE cannot produce
+ * a program that aborts the process on an ACT-to-open-bank assert.
+ *
+ * The result is a 1-minimal repro: removing any single remaining
+ * instruction (after repair) makes the violation disappear.
+ */
+
+#ifndef UTRR_CHECK_MINIMIZER_HH
+#define UTRR_CHECK_MINIMIZER_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "dram/module_spec.hh"
+#include "softmc/command.hh"
+
+namespace utrr
+{
+
+/** Returns true while the candidate still exhibits the violation. */
+using ProgramPredicate = std::function<bool(const Program &)>;
+
+struct MinimizeOptions
+{
+    /** Abort minimization after this many predicate evaluations. */
+    std::size_t maxEvaluations = 2'000;
+};
+
+struct MinimizeResult
+{
+    /** The minimized (repaired, still-violating) program. */
+    Program program;
+    /** Predicate evaluations spent. */
+    std::size_t evaluations = 0;
+    /** False when maxEvaluations stopped the search early. */
+    bool converged = true;
+};
+
+/**
+ * Shrink @p program while @p still_failing holds. The predicate must
+ * be true for (the repaired form of) @p program itself; if it is not,
+ * the input is returned unchanged.
+ */
+MinimizeResult minimizeProgram(const ModuleSpec &spec,
+                               const Program &program,
+                               const ProgramPredicate &still_failing,
+                               MinimizeOptions options = {});
+
+} // namespace utrr
+
+#endif // UTRR_CHECK_MINIMIZER_HH

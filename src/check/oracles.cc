@@ -1,0 +1,285 @@
+#include "check/oracles.hh"
+
+#include <sstream>
+
+#include "check/reference_module.hh"
+#include "common/logging.hh"
+#include "dram/module.hh"
+#include "softmc/host.hh"
+#include "softmc/timing_checker.hh"
+
+namespace utrr
+{
+
+namespace
+{
+
+/** FNV-1a over 64-bit values. */
+class Fnv
+{
+  public:
+    void
+    mix(std::uint64_t value)
+    {
+        for (int byte = 0; byte < 8; ++byte) {
+            hash ^= (value >> (byte * 8)) & 0xff;
+            hash *= 0x100000001b3ULL;
+        }
+    }
+
+    std::uint64_t value() const { return hash; }
+
+  private:
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+};
+
+std::uint64_t
+hashReads(const ExecResult &result)
+{
+    Fnv fnv;
+    for (const ReadRecord &read : result.reads) {
+        fnv.mix(static_cast<std::uint64_t>(read.bank));
+        fnv.mix(static_cast<std::uint64_t>(read.row));
+        fnv.mix(static_cast<std::uint64_t>(read.when));
+        for (int w = 0; w < read.readout.words(); ++w)
+            fnv.mix(read.readout.word(w));
+    }
+    return fnv.value();
+}
+
+class ViolationSink
+{
+  public:
+    ViolationSink(OracleReport &report, std::string oracle,
+                  std::size_t cap)
+        : report(report), oracle(std::move(oracle)), cap(cap)
+    {
+    }
+
+    ~ViolationSink()
+    {
+        if (overflow > 0)
+            report.violations.push_back(
+                {oracle, logFmt("... and ", overflow, " more")});
+    }
+
+    void
+    add(const std::string &detail)
+    {
+        if (seen++ < cap)
+            report.violations.push_back({oracle, detail});
+        else
+            ++overflow;
+    }
+
+    bool any() const { return seen > 0; }
+
+  private:
+    OracleReport &report;
+    std::string oracle;
+    std::size_t cap;
+    std::size_t seen = 0;
+    std::size_t overflow = 0;
+};
+
+} // namespace
+
+std::size_t
+estimateTraceEvents(const Program &program, const Timing &timing)
+{
+    std::size_t events = 0;
+    for (const Instr &instr : program.instructions()) {
+        if (instr.op == Op::kWaitRef) {
+            events += static_cast<std::size_t>(
+                          instr.waitNs / timing.tREFI) +
+                2;
+        } else {
+            events += 1;
+        }
+    }
+    return events;
+}
+
+std::string
+OracleReport::summary() const
+{
+    if (clean())
+        return "clean";
+    std::ostringstream oss;
+    std::size_t shown = 0;
+    for (const OracleViolation &v : violations) {
+        if (shown++ == 3) {
+            oss << "; ... (" << violations.size() << " total)";
+            break;
+        }
+        if (shown > 1)
+            oss << "; ";
+        oss << v.oracle << ": " << v.detail;
+    }
+    return oss.str();
+}
+
+OracleReport
+runOracleSuite(const ModuleSpec &spec, const Program &program,
+               const OracleConfig &cfg)
+{
+    OracleReport report;
+    const std::size_t trace_cap =
+        estimateTraceEvents(program, cfg.timing) + cfg.traceMargin;
+
+    // Production execution.
+    DramModule module(spec, cfg.moduleSeed, cfg.retention);
+    SoftMcHost host(module, cfg.timing);
+    host.trace().enable(trace_cap);
+    const ExecResult exec = host.execute(program);
+
+    report.reads = exec.reads.size();
+    report.endTime = exec.endTime;
+    report.traceHash = host.trace().contentHash();
+    report.readHash = hashReads(exec);
+
+    if (host.trace().dropped() > 0) {
+        // A wrapped ring would silently blind the timing and determinism
+        // oracles; treat it as a harness bug, not a module bug.
+        report.violations.push_back(
+            {"internal",
+             logFmt("trace ring dropped ", host.trace().dropped(),
+                    " events (capacity ", trace_cap, ")")});
+    }
+
+    // Reference execution.
+    ReferenceModule reference(spec, cfg.moduleSeed, cfg.retention,
+                              cfg.timing);
+    const ReferenceResult ref = reference.execute(program);
+
+    {
+        ViolationSink sink(report, "differential",
+                           cfg.maxViolationsPerOracle);
+        if (exec.reads.size() != ref.reads.size()) {
+            sink.add(logFmt("read count ", exec.reads.size(), " vs ",
+                            ref.reads.size(), " in reference"));
+        } else {
+            for (std::size_t i = 0; i < exec.reads.size(); ++i) {
+                const ReadRecord &got = exec.reads[i];
+                const ReferenceRead &want = ref.reads[i];
+                if (got.bank != want.bank || got.row != want.row ||
+                    got.when != want.when) {
+                    sink.add(logFmt("read ", i, ": got bank ", got.bank,
+                                    " row ", got.row, " at ", got.when,
+                                    "ns, reference bank ", want.bank,
+                                    " row ", want.row, " at ",
+                                    want.when, "ns"));
+                    continue;
+                }
+                const int words = got.readout.words();
+                if (static_cast<std::size_t>(words) !=
+                    want.words.size()) {
+                    sink.add(logFmt("read ", i, ": ", words,
+                                    " words vs ", want.words.size(),
+                                    " in reference"));
+                    continue;
+                }
+                for (int w = 0; w < words; ++w) {
+                    if (got.readout.word(w) ==
+                        want.words[static_cast<std::size_t>(w)])
+                        continue;
+                    sink.add(logFmt(
+                        "read ", i, " (bank ", got.bank, " row ",
+                        got.row, ") word ", w, ": got 0x", std::hex,
+                        got.readout.word(w), " reference 0x",
+                        want.words[static_cast<std::size_t>(w)],
+                        std::dec));
+                    break; // one word per read keeps reports short
+                }
+            }
+        }
+        if (exec.endTime != ref.endTime)
+            sink.add(logFmt("end time ", exec.endTime, "ns vs ",
+                            ref.endTime, "ns in reference"));
+    }
+
+    if (cfg.checkTiming) {
+        ViolationSink sink(report, "timing",
+                           cfg.maxViolationsPerOracle);
+        TimingChecker checker(cfg.timing, spec.banks);
+        for (const TraceEvent &event : host.trace().events()) {
+            switch (event.kind) {
+              case TraceKind::kAct:
+                checker.onAct(event.bank, event.row, event.start);
+                break;
+              case TraceKind::kPre:
+                checker.onPre(event.bank, event.start);
+                break;
+              case TraceKind::kWr:
+                checker.onWrite(event.bank, event.start);
+                break;
+              case TraceKind::kRd:
+                checker.onRead(event.bank, event.start);
+                break;
+              case TraceKind::kRef:
+                checker.onRef(event.start);
+                break;
+              default:
+                break; // WAIT / phase / fault markers carry no command
+            }
+        }
+        for (const TimingViolation &v : checker.violations())
+            sink.add(logFmt(v.rule, " at ", v.when, "ns: ", v.detail));
+    }
+
+    if (cfg.checkAccounting) {
+        ViolationSink sink(report, "accounting",
+                           cfg.maxViolationsPerOracle);
+        if (module.refCount() != reference.refCount())
+            sink.add(logFmt("REF count ", module.refCount(), " vs ",
+                            reference.refCount(), " in reference"));
+        if (module.trrRefreshCount() !=
+            reference.trrVictimRefreshCount())
+            sink.add(logFmt("TRR victim refreshes ",
+                            module.trrRefreshCount(), " vs ",
+                            reference.trrVictimRefreshCount(),
+                            " in reference"));
+        const GroundTruthProbe probe = module.groundTruthProbe();
+        if (probe.counter("chip.trr_events") !=
+            reference.trrEventCount())
+            sink.add(logFmt("ground-truth TRR events ",
+                            probe.counter("chip.trr_events"), " vs ",
+                            reference.trrEventCount(),
+                            " in reference"));
+        if (probe.counter("chip.trr_victim_refreshes") !=
+            reference.trrVictimRefreshCount())
+            sink.add(logFmt(
+                "ground-truth TRR victim refreshes ",
+                probe.counter("chip.trr_victim_refreshes"), " vs ",
+                reference.trrVictimRefreshCount(), " in reference"));
+        for (Bank b = 0; b < spec.banks; ++b) {
+            if (module.bankAt(b).rowRefreshCount() ==
+                reference.rowRefreshCount(b))
+                continue;
+            sink.add(logFmt("bank ", b, " row refreshes ",
+                            module.bankAt(b).rowRefreshCount(), " vs ",
+                            reference.rowRefreshCount(b),
+                            " in reference"));
+        }
+    }
+
+    if (cfg.checkDeterminism) {
+        ViolationSink sink(report, "determinism",
+                           cfg.maxViolationsPerOracle);
+        DramModule module2(spec, cfg.moduleSeed, cfg.retention);
+        SoftMcHost host2(module2, cfg.timing);
+        host2.trace().enable(trace_cap);
+        const ExecResult exec2 = host2.execute(program);
+        if (host2.trace().contentHash() != report.traceHash)
+            sink.add("command trace differs between identical runs");
+        if (exec2.endTime != exec.endTime)
+            sink.add(logFmt("end time ", exec2.endTime, "ns vs ",
+                            exec.endTime, "ns on rerun"));
+        if (hashReads(exec2) != report.readHash)
+            sink.add("read-back data differs between identical runs");
+    }
+
+    return report;
+}
+
+} // namespace utrr

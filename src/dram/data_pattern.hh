@@ -71,6 +71,9 @@ class DataPattern
 
     Kind kind() const { return patKind; }
 
+    /** Seed of a kRandom pattern (0 for the deterministic kinds). */
+    std::uint64_t patternSeed() const { return seed; }
+
     /** Value of bit @p col of row @p row under this pattern. */
     bool bit(Row row, Col col) const;
 

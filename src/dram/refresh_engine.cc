@@ -19,10 +19,18 @@ RefreshEngine::onRefresh()
     // `physRows` rows have been refreshed, with no drift.
     const std::uint64_t step = refs % static_cast<std::uint64_t>(period);
     const auto rows64 = static_cast<std::uint64_t>(physRows);
-    const Row begin = static_cast<Row>(step * rows64 /
-                                       static_cast<std::uint64_t>(period));
+    Row begin = static_cast<Row>(step * rows64 /
+                                 static_cast<std::uint64_t>(period));
     const Row end = static_cast<Row>((step + 1) * rows64 /
                                      static_cast<std::uint64_t>(period));
+#ifdef UTRR_MUTATION_REFRESH_OFF_BY_ONE
+    // Deliberate mutation (-DUTRR_MUTATION=ON): every sweep chunk skips
+    // its first row, so chunk-start rows are never regular-refreshed.
+    // The differential fuzzing oracle must flag this (mutation sanity
+    // test); never enable it in a real build.
+    if (begin < end)
+        ++begin;
+#endif
     ++refs;
     position = end >= physRows ? 0 : end;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/rng.hh"
 #include "obs/json.hh"
 
 namespace utrr
@@ -131,6 +132,30 @@ CommandTrace::events() const
     for (std::size_t i = 0; i < count; ++i)
         out.push_back(ring[(first + i) % cap]);
     return out;
+}
+
+std::uint64_t
+CommandTrace::contentHash() const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    const auto mix = [&hash](std::uint64_t value) {
+        for (int byte = 0; byte < 8; ++byte) {
+            hash ^= (value >> (byte * 8)) & 0xff;
+            hash *= 0x100000001b3ULL;
+        }
+    };
+    const std::size_t first = count == cap && cap != 0 ? head : 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const TraceEvent &event = ring[(first + i) % cap];
+        mix(static_cast<std::uint64_t>(event.kind));
+        mix(static_cast<std::uint64_t>(event.bank));
+        mix(static_cast<std::uint64_t>(event.row));
+        mix(static_cast<std::uint64_t>(event.start));
+        mix(static_cast<std::uint64_t>(event.duration));
+        if (event.phase != nullptr)
+            mix(hashString(event.phase));
+    }
+    return hash;
 }
 
 std::string

@@ -129,6 +129,14 @@ class CommandTrace
     /** Held events, oldest first. */
     std::vector<TraceEvent> events() const;
 
+    /**
+     * Order-sensitive FNV-1a hash of every held event (kind, bank, row,
+     * start, duration, phase/fault label). Two traces hash equal iff
+     * they recorded the same events in the same order, which is the
+     * same-seed determinism surface of the fuzzing oracle suite.
+     */
+    std::uint64_t contentHash() const;
+
     /** Human-readable listing (one line per event). */
     std::string text() const;
 

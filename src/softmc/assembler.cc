@@ -80,6 +80,42 @@ parseInt(const std::string &token)
     }
 }
 
+/** Parse a 64-bit unsigned value; base 0 accepts 0x-prefixed hex. */
+std::optional<std::uint64_t>
+parseU64(const std::string &token)
+{
+    try {
+        std::size_t used = 0;
+        const std::uint64_t value = std::stoull(token, &used, 0);
+        if (used != token.size())
+            return std::nullopt;
+        return value;
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+/** Pattern token for the disassembler; random carries its seed. */
+std::string
+patternToken(const DataPattern &pattern)
+{
+    switch (pattern.kind()) {
+      case DataPattern::Kind::kAllOnes:
+        return "ones";
+      case DataPattern::Kind::kAllZeros:
+        return "zeros";
+      case DataPattern::Kind::kCheckerboard:
+        return "checker";
+      case DataPattern::Kind::kInvCheckerboard:
+        return "invchecker";
+      case DataPattern::Kind::kColStripe:
+        return "stripe";
+      case DataPattern::Kind::kRandom:
+        return logFmt("random:", pattern.patternSeed());
+    }
+    return "?";
+}
+
 } // namespace
 
 std::optional<DataPattern>
@@ -97,10 +133,10 @@ parsePatternToken(const std::string &token)
     if (name == "stripe" || name == "col-stripe")
         return DataPattern::colStripe();
     if (name.rfind("random:", 0) == 0) {
-        const auto seed = parseInt(name.substr(7));
+        const auto seed = parseU64(name.substr(7));
         if (!seed)
             return std::nullopt;
-        return DataPattern::random(static_cast<std::uint64_t>(*seed));
+        return DataPattern::random(*seed);
     }
     return std::nullopt;
 }
@@ -153,6 +189,16 @@ assembleProgram(const std::string &text)
             if (!bank || !pattern)
                 return fail("bad WR operands");
             result.program.wr(static_cast<Bank>(*bank), *pattern);
+        } else if (op == "WRW") {
+            if (argc != 3)
+                return fail("WRW needs <bank> <word> <value>");
+            const auto bank = arg_int(1);
+            const auto word = arg_int(2);
+            const auto value = parseU64(tokens[3]);
+            if (!bank || !word || *word < 0 || !value)
+                return fail("bad WRW operands");
+            result.program.wrWord(static_cast<Bank>(*bank),
+                                  static_cast<int>(*word), *value);
         } else if (op == "RD") {
             if (argc != 1)
                 return fail("RD needs <bank>");
@@ -232,11 +278,12 @@ disassembleProgram(const Program &program)
             oss << "PRE " << instr.bank << "\n";
             break;
           case Op::kWr:
-            oss << "WR " << instr.bank << " " << instr.pattern.name()
-                << "\n";
+            oss << "WR " << instr.bank << " "
+                << patternToken(instr.pattern) << "\n";
             break;
           case Op::kWrWord:
-            oss << "# WRWORD (not representable)\n";
+            oss << "WRW " << instr.bank << " " << instr.wordIdx << " 0x"
+                << std::hex << instr.value << std::dec << "\n";
             break;
           case Op::kRd:
             oss << "RD " << instr.bank << "\n";

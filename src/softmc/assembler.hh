@@ -14,6 +14,7 @@
  *   PRE <bank>
  *   WR <bank> <pattern>         pattern: ones|zeros|checker|invchecker|
  *                                         stripe|random:<seed>
+ *   WRW <bank> <word> <value>   write one 64-bit word (value may be 0x hex)
  *   RD <bank>
  *   REF [count]
  *   WAIT <time>                 time: <n>ns | <n>us | <n>ms

@@ -134,4 +134,11 @@ Program::hammer(Bank bank, Row row, int count)
     return *this;
 }
 
+Program &
+Program::push(const Instr &instr)
+{
+    instrs.push_back(instr);
+    return *this;
+}
+
 } // namespace utrr

@@ -72,6 +72,10 @@ class Program
     /** Composite: `count` ACT+PRE hammers of one row. */
     Program &hammer(Bank bank, Row row, int count);
 
+    /** Append an already-built instruction (program surgery: fuzzing
+     *  mutators, delta-debugging minimizers). */
+    Program &push(const Instr &instr);
+
     const std::vector<Instr> &instructions() const { return instrs; }
     std::size_t size() const { return instrs.size(); }
 

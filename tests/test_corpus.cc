@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Corpus replay tests: every checked-in entry under tests/corpus/ is
+ * parsed, validated against the command protocol, and replayed through
+ * the full oracle suite — on a clean tree all of them must stay clean.
+ * Entries double as format-stability anchors for the corpus text
+ * format and the assembler grammar it embeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/corpus.hh"
+#include "check/fuzzer.hh"
+#include "check/oracles.hh"
+#include "dram/data_pattern.hh"
+#include "dram/module_spec.hh"
+
+#ifndef UTRR_CORPUS_DIR
+#error "UTRR_CORPUS_DIR must point at the checked-in corpus"
+#endif
+
+namespace utrr
+{
+namespace
+{
+
+std::vector<CorpusEntry>
+checkedInCorpus()
+{
+    std::string error;
+    std::vector<CorpusEntry> entries =
+        loadCorpusDir(UTRR_CORPUS_DIR, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    return entries;
+}
+
+TEST(Corpus, HasCheckedInAnchors)
+{
+    const std::vector<CorpusEntry> entries = checkedInCorpus();
+    ASSERT_GE(entries.size(), 4U)
+        << "expected fixed-seed anchors in " UTRR_CORPUS_DIR;
+}
+
+TEST(Corpus, EntriesAreProtocolValid)
+{
+    for (const CorpusEntry &entry : checkedInCorpus()) {
+        SCOPED_TRACE(entry.name);
+        const auto spec = findModuleSpec(entry.module);
+        ASSERT_TRUE(spec) << "unknown module " << entry.module;
+        EXPECT_FALSE(entry.program.size() == 0);
+        const std::string error =
+            validateProgram(*spec, entry.program);
+        EXPECT_TRUE(error.empty()) << error;
+    }
+}
+
+TEST(Corpus, EntriesReplayCleanThroughOracleSuite)
+{
+    for (const CorpusEntry &entry : checkedInCorpus()) {
+        SCOPED_TRACE(entry.name);
+        const auto spec = findModuleSpec(entry.module);
+        ASSERT_TRUE(spec);
+        OracleConfig oracle;
+        oracle.moduleSeed = entry.moduleSeed;
+        const OracleReport report =
+            runOracleSuite(*spec, entry.program, oracle);
+        EXPECT_TRUE(report.clean()) << report.summary();
+        EXPECT_GT(report.reads, 0U)
+            << "anchor performs no reads; differential oracle idle";
+    }
+}
+
+TEST(Corpus, TextFormatRoundTrips)
+{
+    CorpusEntry entry;
+    entry.module = "A3";
+    entry.moduleSeed = 31337;
+    entry.fuzzSeed = 12;
+    entry.fuzzIndex = 7;
+    entry.oracle = "differential";
+    entry.note = "synthetic round-trip entry";
+    entry.program.writeRow(2, 500, DataPattern::random(42))
+        .waitWithRefresh(msToNs(64))
+        .readRow(2, 500);
+
+    CorpusEntry back;
+    const std::string error =
+        parseCorpusEntry(corpusEntryText(entry), back);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(back.module, entry.module);
+    EXPECT_EQ(back.moduleSeed, entry.moduleSeed);
+    EXPECT_EQ(back.fuzzSeed, entry.fuzzSeed);
+    EXPECT_EQ(back.fuzzIndex, entry.fuzzIndex);
+    EXPECT_EQ(back.oracle, entry.oracle);
+    EXPECT_EQ(back.note, entry.note);
+    ASSERT_EQ(back.program.size(), entry.program.size());
+    for (std::size_t i = 0; i < entry.program.size(); ++i)
+        EXPECT_EQ(back.program.instructions()[i].toString(),
+                  entry.program.instructions()[i].toString());
+}
+
+TEST(Corpus, ParserRejectsEntriesWithoutModule)
+{
+    CorpusEntry entry;
+    const std::string error =
+        parseCorpusEntry("#! note no module here\nWAIT 100\n", entry);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Corpus, ParserSkipsUnknownHeaderKeys)
+{
+    // Forward compatibility: newer writers may add header keys.
+    CorpusEntry entry;
+    const std::string error = parseCorpusEntry(
+        "#! module A0\n#! future-key some value\nWAIT 100\n", entry);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(entry.module, "A0");
+    EXPECT_EQ(entry.program.size(), 1U);
+}
+
+} // namespace
+} // namespace utrr

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Differential fuzzing harness tests: generator validity and
+ * determinism, assembler round-trips of generated programs,
+ * oracle-clean sweeps across vendors, minimizer properties,
+ * serial-vs-parallel campaign equivalence, and the mutation sanity
+ * check (the oracle suite must catch the compile-time-flagged
+ * off-by-one refresh bug within a bounded number of programs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "check/fuzz_campaign.hh"
+#include "common/rng.hh"
+#include "check/fuzzer.hh"
+#include "check/minimizer.hh"
+#include "check/oracles.hh"
+#include "dram/module_spec.hh"
+#include "softmc/assembler.hh"
+
+namespace utrr
+{
+namespace
+{
+
+std::string
+instrDump(const Program &program)
+{
+    std::string out;
+    for (const Instr &instr : program.instructions())
+        out += instr.toString() + "\n";
+    return out;
+}
+
+TEST(Fuzzer, GeneratedProgramsAreProtocolValid)
+{
+    // The generator must never need the repair pass: every program is
+    // statically valid against the bank open/close protocol.
+    const ModuleSpec spec = *findModuleSpec("A0");
+    const ProgramFuzzer fuzzer(spec);
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        const Program program = fuzzer.generate(42, i);
+        EXPECT_GE(program.size(), 4U);
+        const std::string error = validateProgram(spec, program);
+        ASSERT_TRUE(error.empty()) << "program " << i << ": " << error;
+    }
+}
+
+TEST(Fuzzer, SameSeedSameProgramDifferentSeedDifferent)
+{
+    const ModuleSpec spec = *findModuleSpec("B0");
+    const ProgramFuzzer fuzzer(spec);
+    const Program a = fuzzer.generate(1, 7);
+    const Program b = fuzzer.generate(1, 7);
+    ASSERT_EQ(instrDump(a), instrDump(b));
+
+    // Different index or seed must decorrelate the stream.
+    EXPECT_NE(instrDump(a), instrDump(fuzzer.generate(1, 8)));
+    EXPECT_NE(instrDump(a), instrDump(fuzzer.generate(2, 7)));
+}
+
+TEST(Fuzzer, GeneratedProgramsSurviveAssemblerRoundTrip)
+{
+    // Corpus entries are stored as assembler text, so disassemble ->
+    // assemble must be lossless for anything the generator emits
+    // (including random:<seed> data patterns and WRWORD).
+    const ModuleSpec spec = *findModuleSpec("C0");
+    const ProgramFuzzer fuzzer(spec);
+    for (std::uint64_t i = 0; i < 25; ++i) {
+        const Program program = fuzzer.generate(3, i);
+        const std::string text = disassembleProgram(program);
+        const AssembleResult back = assembleProgram(text);
+        ASSERT_TRUE(back.ok()) << back.error;
+        ASSERT_EQ(instrDump(program), instrDump(back.program))
+            << "program " << i;
+    }
+}
+
+TEST(Fuzzer, RepairProducesValidPrograms)
+{
+    // repairProgram is the minimizer's protocol-repair step: dropping
+    // arbitrary instruction subsets then repairing must always yield a
+    // valid program.
+    const ModuleSpec spec = *findModuleSpec("A0");
+    const ProgramFuzzer fuzzer(spec);
+    Rng rng(99);
+    for (std::uint64_t i = 0; i < 40; ++i) {
+        const Program program = fuzzer.generate(11, i);
+        Program mangled;
+        for (const Instr &instr : program.instructions())
+            if (rng.chance(0.6))
+                mangled.push(instr);
+        const Program repaired = repairProgram(spec, mangled);
+        const std::string error = validateProgram(spec, repaired);
+        ASSERT_TRUE(error.empty()) << "program " << i << ": " << error;
+    }
+}
+
+TEST(Oracles, CleanSweepAcrossVendors)
+{
+    // The core zero-violation contract on a clean tree, over one module
+    // of each vendor (distinct TRR samplers).
+    for (const char *name : {"A0", "B0", "C0"}) {
+        const ModuleSpec spec = *findModuleSpec(name);
+        FuzzCampaignOptions options;
+        options.count = 8;
+        options.fuzzSeed = 2024;
+        const FuzzCampaignResult result = runFuzzCampaign(spec, options);
+        EXPECT_TRUE(result.clean())
+            << name << ": " << result.violating << " violating, first: "
+            << (result.findings.empty() ? "?"
+                                        : result.findings[0].detail);
+    }
+}
+
+TEST(Oracles, ReportsHashesAndReads)
+{
+    const ModuleSpec spec = *findModuleSpec("A0");
+    const ProgramFuzzer fuzzer(spec);
+    const Program program = fuzzer.generate(5, 0);
+    const OracleReport report = runOracleSuite(spec, program);
+    EXPECT_TRUE(report.clean()) << report.summary();
+    EXPECT_GT(report.reads, 0U);
+    EXPECT_NE(report.traceHash, 0U);
+    EXPECT_NE(report.readHash, 0U);
+    EXPECT_GT(report.endTime, 0);
+
+    // Same program, same seed: the report is reproducible.
+    const OracleReport again = runOracleSuite(spec, program);
+    EXPECT_EQ(report.traceHash, again.traceHash);
+    EXPECT_EQ(report.readHash, again.readHash);
+    EXPECT_EQ(report.endTime, again.endTime);
+}
+
+TEST(Campaign, VerdictsIdenticalForAnyJobCount)
+{
+    // The campaign's verdict dump is the byte-equality surface: jobs=1
+    // and jobs=4 must produce identical bytes.
+    const ModuleSpec spec = *findModuleSpec("B0");
+    FuzzCampaignOptions options;
+    options.count = 10;
+    options.fuzzSeed = 77;
+
+    options.jobs = 1;
+    const FuzzCampaignResult serial = runFuzzCampaign(spec, options);
+    options.jobs = 4;
+    const FuzzCampaignResult parallel = runFuzzCampaign(spec, options);
+
+    EXPECT_TRUE(serial.clean());
+    EXPECT_EQ(serial.campaign.verdicts().dump(2),
+              parallel.campaign.verdicts().dump(2));
+}
+
+TEST(Minimizer, PreservesFailureAndShrinks)
+{
+    // Synthetic predicate: "program still contains a WAIT longer than
+    // 1 ms". ddmin must shrink a fuzzer program to exactly one
+    // instruction satisfying it, through protocol repair.
+    const ModuleSpec spec = *findModuleSpec("A0");
+    FuzzConfig config;
+    config.longWaitChance = 0.5;
+    const ProgramFuzzer fuzzer(spec, config);
+
+    const auto has_long_wait = [](const Program &program) {
+        for (const Instr &instr : program.instructions())
+            if (instr.op == Op::kWait && instr.waitNs > msToNs(1))
+                return true;
+        return false;
+    };
+
+    int shrunk = 0;
+    for (std::uint64_t i = 0; i < 20 && shrunk < 3; ++i) {
+        const Program program = fuzzer.generate(8, i);
+        if (!has_long_wait(program))
+            continue;
+        ++shrunk;
+        const MinimizeResult result =
+            minimizeProgram(spec, program, has_long_wait);
+        EXPECT_TRUE(result.converged);
+        EXPECT_TRUE(has_long_wait(result.program));
+        EXPECT_LE(result.program.size(), 2U)
+            << instrDump(result.program);
+        EXPECT_TRUE(validateProgram(spec, result.program).empty());
+    }
+    ASSERT_EQ(shrunk, 3) << "fuzz config produced too few long waits";
+}
+
+TEST(Minimizer, ReturnsInputWhenPredicateNeverFails)
+{
+    const ModuleSpec spec = *findModuleSpec("A0");
+    const ProgramFuzzer fuzzer(spec);
+    const Program program = fuzzer.generate(1, 0);
+    const MinimizeResult result = minimizeProgram(
+        spec, program, [](const Program &) { return false; });
+    EXPECT_EQ(instrDump(result.program), instrDump(program));
+}
+
+/**
+ * Mutation sanity: with UTRR_MUTATION the refresh engine skips the
+ * first row of every sweep chunk, and the oracle suite must notice
+ * within a bounded fixed-seed sweep — crucially including the
+ * black-box differential oracle (retention flips surviving in rows the
+ * mutant failed to refresh), not just the white-box accounting one.
+ * Without the mutation the identical sweep must be clean, proving the
+ * detection is caused by the injected bug.
+ */
+TEST(MutationSanity, DifferentialOracleCatchesRefreshOffByOne)
+{
+    const ModuleSpec spec = *findModuleSpec("A0");
+    FuzzCampaignOptions options;
+    options.count = 20;
+    options.fuzzSeed = 1;
+    options.fuzz.longWaitChance = 1.0; // decay windows expose refresh
+    options.minimize = false;          // bounded runtime
+    options.maxFindings = 20;
+
+    const FuzzCampaignResult result = runFuzzCampaign(spec, options);
+
+#ifdef UTRR_MUTATION_REFRESH_OFF_BY_ONE
+    ASSERT_FALSE(result.clean())
+        << "oracle suite missed the injected refresh bug";
+    std::set<std::string> oracles;
+    for (const FuzzFinding &finding : result.findings)
+        oracles.insert(finding.oracle);
+    EXPECT_TRUE(oracles.count("differential"))
+        << "no black-box differential catch in " << result.violating
+        << " violating programs";
+    EXPECT_TRUE(oracles.count("accounting"));
+#else
+    EXPECT_TRUE(result.clean())
+        << result.violating << " violating on a clean tree, first: "
+        << (result.findings.empty() ? "?" : result.findings[0].detail);
+#endif
+}
+
+} // namespace
+} // namespace utrr

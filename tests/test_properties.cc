@@ -5,7 +5,9 @@
 
 #include "common/rng.hh"
 #include "dram/refresh_engine.hh"
+#include "ecc/chipkill.hh"
 #include "ecc/reed_solomon.hh"
+#include "ecc/secded.hh"
 #include "runner/reveng_job.hh"
 #include "trr/vendor_a.hh"
 #include "trr/vendor_b.hh"
@@ -260,6 +262,173 @@ TEST_P(RunnerProperty, VerdictMatchesGroundTruthAndReproduces)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RunnerProperty,
                          ::testing::Range(1, 7));
+
+// ---------------------------------------------------------------------
+// ECC codes: randomized k-bit / k-symbol error round trips match each
+// code's distance guarantee (and its documented failure modes).
+// ---------------------------------------------------------------------
+
+/**
+ * Flip @p k distinct bits of a codeword. SECDED uses all 72 positions;
+ * OnDieSec(71,64) ignores the overall parity bit (position 71), so its
+ * errors must stay within 0..70 to be real.
+ */
+Secded::Codeword
+flipDistinctBits(Rng &rng, Secded::Codeword word, int k,
+                 int max_bit = 71)
+{
+    std::set<int> bits;
+    while (static_cast<int>(bits.size()) < k)
+        bits.insert(static_cast<int>(rng.uniformInt(0, max_bit)));
+    for (int bit : bits)
+        word = Secded::flipBit(word, bit);
+    return word;
+}
+
+TEST(EccProperty, SecdedSingleBitAlwaysCorrected)
+{
+    Rng rng(101);
+    for (int trial = 0; trial < 500; ++trial) {
+        const std::uint64_t data = rng.next();
+        const auto received = flipDistinctBits(
+            rng, Secded::encode(data), 1);
+        const auto result = Secded::decode(received);
+        ASSERT_EQ(result.status, Secded::Status::kCorrected);
+        ASSERT_EQ(result.codeword.data, data);
+    }
+}
+
+TEST(EccProperty, SecdedDoubleBitAlwaysDetectedNeverMiscorrected)
+{
+    Rng rng(102);
+    for (int trial = 0; trial < 500; ++trial) {
+        const std::uint64_t data = rng.next();
+        const auto received = flipDistinctBits(
+            rng, Secded::encode(data), 2);
+        const auto result = Secded::decode(received);
+        ASSERT_EQ(result.status, Secded::Status::kDetected);
+    }
+}
+
+TEST(EccProperty, SecdedTripleBitNeverReadsClean)
+{
+    // Beyond the guarantee: >= 3 flips may alias to a "corrected"
+    // word with wrong data, but must never decode as clean.
+    Rng rng(103);
+    int aliased = 0;
+    for (int trial = 0; trial < 500; ++trial) {
+        const std::uint64_t data = rng.next();
+        const auto received = flipDistinctBits(
+            rng, Secded::encode(data), 3);
+        const auto result = Secded::decode(received);
+        ASSERT_NE(result.status, Secded::Status::kClean);
+        if (result.status == Secded::Status::kCorrected &&
+            result.codeword.data != data)
+            ++aliased;
+    }
+    // The aliasing failure mode is real, not hypothetical.
+    EXPECT_GT(aliased, 0);
+}
+
+TEST(EccProperty, OnDieSecCorrectsOneBitButMiscorrectsTwo)
+{
+    Rng rng(104);
+    int miscorrected = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        const std::uint64_t data = rng.next();
+
+        auto one = flipDistinctBits(rng, OnDieSec::encode(data), 1, 70);
+        const auto corrected = OnDieSec::decode(one);
+        ASSERT_EQ(corrected.status, OnDieSec::Status::kCorrected);
+        ASSERT_EQ(corrected.codeword.data, data);
+
+        // Two flips: distinct nonzero syndrome columns never cancel,
+        // so the result is never clean — but without the overall
+        // parity bit the code cannot tell 2 flips from 1 and silently
+        // miscorrects (the weakness the custom patterns exploit).
+        auto two = flipDistinctBits(rng, OnDieSec::encode(data), 2, 70);
+        const auto result = OnDieSec::decode(two);
+        ASSERT_NE(result.status, OnDieSec::Status::kClean);
+        if (result.status == OnDieSec::Status::kCorrected &&
+            result.codeword.data != data)
+            ++miscorrected;
+    }
+    EXPECT_GT(miscorrected, 0);
+}
+
+/** Corrupt @p k distinct symbols of a chipkill codeword. */
+std::vector<Gf256::Elem>
+corruptSymbols(Rng &rng, std::vector<Gf256::Elem> word, int k)
+{
+    std::set<int> symbols;
+    while (static_cast<int>(symbols.size()) < k)
+        symbols.insert(static_cast<int>(
+            rng.uniformInt(0, static_cast<int>(word.size()) - 1)));
+    for (int s : symbols) {
+        const auto xorv = static_cast<Gf256::Elem>(
+            rng.uniformInt(1, 255));
+        word[static_cast<std::size_t>(s)] ^= xorv;
+    }
+    return word;
+}
+
+TEST(EccProperty, ChipkillSymbolErrorsMatchDistanceGuarantee)
+{
+    const Chipkill chipkill;
+    Rng rng(105);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::uint64_t data = rng.next();
+        const auto clean = chipkill.encode(data);
+
+        // t = 1: any single-symbol error (a whole dead chip) corrects
+        // back to the original data.
+        const auto one = chipkill.decode(corruptSymbols(rng, clean, 1));
+        ASSERT_EQ(one.status, RsDecodeResult::Status::kCorrected);
+        ASSERT_EQ(one.symbolsCorrected, 1);
+        ASSERT_EQ(Chipkill::dataOf(one.codeword), data);
+
+        // Distance 4: a double-symbol error is at distance >= 2 from
+        // every codeword, hence always detected, never miscorrected.
+        const auto two = chipkill.decode(corruptSymbols(rng, clean, 2));
+        ASSERT_EQ(two.status, RsDecodeResult::Status::kDetected);
+
+        // Weight 3 < distance 4: never aliases to a clean codeword.
+        const auto three =
+            chipkill.decode(corruptSymbols(rng, clean, 3));
+        ASSERT_NE(three.status, RsDecodeResult::Status::kClean);
+    }
+}
+
+TEST(EccProperty, ChipkillAdversarialTripleSymbolMiscorrects)
+{
+    // Any two datawords differing in one byte produce codewords
+    // exactly distance 4 apart (d = n - k + 1 = 4, and the diff spans
+    // at most 1 data + 3 parity symbols). Flipping 3 of those 4
+    // symbols lands within the correction radius of the *wrong*
+    // codeword: a triple-symbol error silently decodes to bad data.
+    const Chipkill chipkill;
+    const std::uint64_t data_a = 0;
+    const std::uint64_t data_b = 1;
+    const auto cw_a = chipkill.encode(data_a);
+    const auto cw_b = chipkill.encode(data_b);
+
+    std::vector<int> differing;
+    for (std::size_t i = 0; i < cw_a.size(); ++i)
+        if (cw_a[i] != cw_b[i])
+            differing.push_back(static_cast<int>(i));
+    ASSERT_EQ(differing.size(), 4U);
+
+    auto received = cw_a;
+    for (int i = 0; i < 3; ++i) {
+        const auto sym = static_cast<std::size_t>(differing[
+            static_cast<std::size_t>(i)]);
+        received[sym] = cw_b[sym];
+    }
+    const auto result = chipkill.decode(received);
+    ASSERT_EQ(result.status, RsDecodeResult::Status::kCorrected);
+    EXPECT_EQ(Chipkill::dataOf(result.codeword), data_b);
+    EXPECT_NE(Chipkill::dataOf(result.codeword), data_a);
+}
 
 } // namespace
 } // namespace utrr

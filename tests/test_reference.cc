@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Direct equivalence tests between the naive ReferenceModule
+ * interpreter and the production DramModule + SoftMcHost pair.
+ *
+ * The reference model is the oracle of the differential fuzzer, so its
+ * agreement with production is load-bearing: these tests pin exact
+ * read-back, clock, and refresh/TRR-accounting equality on hand-built
+ * programs that exercise each physics regime (plain retention decay,
+ * VRT-heavy configurations, RowHammer disturbance through TRR) before
+ * the fuzzer explores random interleavings of them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/reference_module.hh"
+#include "dram/module.hh"
+#include "dram/module_spec.hh"
+#include "obs/metrics.hh"
+#include "softmc/host.hh"
+
+namespace utrr
+{
+namespace
+{
+
+/** Retention overrides that make decay and VRT dominate quickly. */
+RetentionModelConfig
+vrtHeavyRetention()
+{
+    RetentionModelConfig ret;
+    ret.weakRowFraction = 1.0;
+    ret.weakRetMedianMs = 150.0;
+    ret.weakRetMinMs = 60.0;
+    ret.weakRetMaxMs = 400.0;
+    ret.vrtRowFraction = 0.8;
+    ret.vrtDwellMs = 120.0;
+    return ret;
+}
+
+/**
+ * Execute @p program on both implementations and require bit-exact
+ * reads, clocks, and refresh/TRR bookkeeping.
+ */
+void
+expectEquivalent(const ModuleSpec &spec, const Program &program,
+                 std::uint64_t seed,
+                 const RetentionModelConfig *retention = nullptr)
+{
+    SCOPED_TRACE("module " + spec.name + " seed " +
+                 std::to_string(seed));
+
+    DramModule module(spec, seed, retention);
+    SoftMcHost host(module);
+    const ExecResult prod = host.execute(program);
+
+    ReferenceModule ref(spec, seed, retention);
+    const ReferenceResult shadow = ref.execute(program);
+
+    ASSERT_EQ(prod.reads.size(), shadow.reads.size());
+    for (std::size_t i = 0; i < prod.reads.size(); ++i) {
+        SCOPED_TRACE("read " + std::to_string(i));
+        const ReadRecord &got = prod.reads[i];
+        const ReferenceRead &want = shadow.reads[i];
+        EXPECT_EQ(got.bank, want.bank);
+        EXPECT_EQ(got.row, want.row);
+        EXPECT_EQ(got.when, want.when);
+        ASSERT_EQ(static_cast<std::size_t>(got.readout.words()),
+                  want.words.size());
+        for (int w = 0; w < got.readout.words(); ++w)
+            ASSERT_EQ(got.readout.word(w),
+                      want.words[static_cast<std::size_t>(w)])
+                << "word " << w;
+    }
+
+    EXPECT_EQ(host.now(), ref.now());
+    EXPECT_EQ(prod.endTime, shadow.endTime);
+    EXPECT_EQ(module.refCount(), ref.refCount());
+    EXPECT_EQ(module.trrRefreshCount(), ref.trrVictimRefreshCount());
+    for (Bank b = 0; b < spec.banks; ++b)
+        EXPECT_EQ(module.bankAt(b).rowRefreshCount(),
+                  ref.rowRefreshCount(b))
+            << "bank " << static_cast<int>(b);
+}
+
+TEST(Reference, RetentionDecayMatchesAcrossVendors)
+{
+    // Long refresh-paused decay: weak cells flip in production and the
+    // reference must predict the same bits from the same seed.
+    for (const char *name : {"A0", "B0", "C0"}) {
+        const ModuleSpec spec = *findModuleSpec(name);
+        Program program;
+        for (Row row = 100; row < 108; ++row)
+            program.writeRow(0, row, DataPattern::allOnes());
+        program.wait(msToNs(1'500));
+        for (Row row = 100; row < 108; ++row)
+            program.readRow(0, row);
+        expectEquivalent(spec, program, 2021);
+    }
+}
+
+TEST(Reference, VrtHeavyConfigMatches)
+{
+    // Nearly every row carries a VRT cell with a short dwell time, and
+    // the read-back pattern depends on the per-row telegraph draws
+    // lining up exactly (one draw per commit, dt accumulated since the
+    // previous draw).
+    const RetentionModelConfig ret = vrtHeavyRetention();
+    const ModuleSpec spec = *findModuleSpec("A0");
+    for (std::uint64_t seed : {7ULL, 99ULL}) {
+        Program program;
+        for (Row row = 40; row < 52; ++row)
+            program.writeRow(1, row, DataPattern::colStripe());
+        for (int burst = 0; burst < 4; ++burst) {
+            program.wait(msToNs(260));
+            for (Row row = 40; row < 52; ++row)
+                program.readRow(1, row);
+        }
+        expectEquivalent(spec, program, seed, &ret);
+    }
+}
+
+TEST(Reference, ShortRetentionOverridesMatch)
+{
+    // Aggressively short retention amplifies the charge/lastRestore
+    // bookkeeping: any drift in restore times shows up as a different
+    // flip set within one or two windows.
+    RetentionModelConfig ret;
+    ret.weakRowFraction = 1.0;
+    ret.weakRetMedianMs = 80.0;
+    ret.weakRetMinMs = 40.0;
+    ret.weakRetMaxMs = 150.0;
+    ret.vrtRowFraction = 0.0;
+
+    const ModuleSpec spec = *findModuleSpec("B3");
+    Program program;
+    for (Row row = 10; row < 20; ++row)
+        program.writeRow(0, row, DataPattern::checkerboard());
+    program.wait(msToNs(120));
+    for (Row row = 10; row < 20; ++row)
+        program.readRow(0, row);
+    // Re-write and decay again: writePattern must clear overrides and
+    // flips identically on both sides.
+    for (Row row = 10; row < 20; ++row)
+        program.writeRow(0, row, DataPattern::allZeros());
+    program.wait(msToNs(200));
+    for (Row row = 10; row < 20; ++row)
+        program.readRow(0, row);
+    expectEquivalent(spec, program, 5);
+}
+
+TEST(Reference, HammerThroughTrrMatches)
+{
+    // Double-sided hammering at ~2x HC_first with refresh cycles in
+    // between drives both the disturbance model and the TRR sampler;
+    // equality covers victim selection, charge accumulation, and the
+    // TRR victim-refresh accounting.
+    for (const char *name : {"A1", "B0", "C4"}) {
+        const ModuleSpec spec = *findModuleSpec(name);
+        const Row victim = 2'000;
+        Program program;
+        program.writeRow(0, victim, DataPattern::allOnes());
+        program.writeRow(0, victim - 1, DataPattern::allZeros());
+        program.writeRow(0, victim + 1, DataPattern::allZeros());
+        for (int round = 0; round < 3; ++round) {
+            for (int i = 0; i < spec.hcFirst; ++i) {
+                program.hammer(0, victim - 1, 1);
+                program.hammer(0, victim + 1, 1);
+            }
+            program.ref(8);
+        }
+        program.readRow(0, victim);
+        expectEquivalent(spec, program, 2021);
+    }
+}
+
+TEST(Reference, WrWordAndRefreshSweepMatch)
+{
+    // Word-granular writes layered over a pattern, interleaved with
+    // WAITREF windows long enough for several full refresh sweeps.
+    const ModuleSpec spec = *findModuleSpec("C0");
+    Program program;
+    program.act(2, 300);
+    program.wr(2, DataPattern::random(77));
+    program.wrWord(2, 0, 0xdeadbeefULL);
+    program.wrWord(2, 41, 0x0123456789abcdefULL);
+    program.pre(2);
+    program.waitWithRefresh(msToNs(200));
+    program.act(2, 300);
+    program.rd(2);
+    program.wrWord(2, 41, 0);
+    program.rd(2);
+    program.pre(2);
+    program.waitWithRefresh(msToNs(70));
+    program.readRow(2, 300);
+    expectEquivalent(spec, program, 13);
+}
+
+TEST(Reference, TrrEventAccountingMatchesGroundTruthProbe)
+{
+    // The white-box surface the accounting oracle uses: ground-truth
+    // TRR counters on production vs the reference's own bookkeeping.
+    const ModuleSpec spec = *findModuleSpec("A0");
+    Program program;
+    program.writeRow(0, 500, DataPattern::allOnes());
+    for (int i = 0; i < 4 * spec.hcFirst; ++i) {
+        program.hammer(0, 499, 1);
+        program.hammer(0, 501, 1);
+    }
+    program.ref(64);
+    program.readRow(0, 500);
+
+    DramModule module(spec, 2021);
+    SoftMcHost host(module);
+    host.execute(program);
+    const GroundTruthProbe probe = module.groundTruthProbe();
+
+    ReferenceModule ref(spec, 2021);
+    ref.execute(program);
+
+    EXPECT_GT(ref.trrEventCount(), 0U);
+    EXPECT_EQ(probe.counter("chip.trr_events"), ref.trrEventCount());
+    EXPECT_EQ(probe.counter("chip.trr_victim_refreshes"),
+              ref.trrVictimRefreshCount());
+}
+
+} // namespace
+} // namespace utrr

@@ -42,6 +42,52 @@ TEST(CommandTrace, RecordsEventsInOrder)
     EXPECT_EQ(events[2].duration, 350);
 }
 
+TEST(CommandTrace, ContentHashStableAndOrderSensitive)
+{
+    // The hash is the determinism-oracle surface of the fuzz harness:
+    // equal iff same events in same order.
+    CommandTrace a(16);
+    a.record(TraceKind::kAct, 1, 7, 0, 35);
+    a.record(TraceKind::kPre, 1, kInvalidRow, 35, 15);
+
+    CommandTrace b(16);
+    b.record(TraceKind::kAct, 1, 7, 0, 35);
+    b.record(TraceKind::kPre, 1, kInvalidRow, 35, 15);
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+
+    // Swapped order must hash differently.
+    CommandTrace c(16);
+    c.record(TraceKind::kPre, 1, kInvalidRow, 35, 15);
+    c.record(TraceKind::kAct, 1, 7, 0, 35);
+    EXPECT_NE(a.contentHash(), c.contentHash());
+
+    // Any field perturbation must hash differently.
+    CommandTrace d(16);
+    d.record(TraceKind::kAct, 1, 8, 0, 35);
+    d.record(TraceKind::kPre, 1, kInvalidRow, 35, 15);
+    EXPECT_NE(a.contentHash(), d.contentHash());
+
+    EXPECT_EQ(CommandTrace(16).contentHash(),
+              CommandTrace(8).contentHash());
+}
+
+TEST(CommandTrace, ContentHashIndependentOfRingPosition)
+{
+    // Two traces holding the same surviving events must hash equal
+    // even when one of them wrapped (the hash walks oldest-first, not
+    // buffer order).
+    CommandTrace wrapped(2);
+    wrapped.record(TraceKind::kAct, 0, 1, 0, 35);  // evicted
+    wrapped.record(TraceKind::kAct, 0, 2, 35, 35);
+    wrapped.record(TraceKind::kPre, 0, kInvalidRow, 70, 15);
+
+    CommandTrace fresh(2);
+    fresh.record(TraceKind::kAct, 0, 2, 35, 35);
+    fresh.record(TraceKind::kPre, 0, kInvalidRow, 70, 15);
+
+    EXPECT_EQ(wrapped.contentHash(), fresh.contentHash());
+}
+
 TEST(CommandTrace, RingWrapsAroundKeepingNewest)
 {
     CommandTrace trace(8);
