@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Perf-regression guard: compare a fresh bench_perf run to the baseline.
+
+Compares the per-benchmark ``real_ns`` rounds of a freshly produced
+BENCH_perf.json against the committed baseline:
+
+  * ratio > WARN_RATIO (1.3x slower)  -> warning, exit 0
+  * ratio > FAIL_RATIO (2.0x slower)  -> listed as FAIL, exit 1
+
+Benchmarks present in only one of the two files are reported but never
+fatal (the baseline refresh lands in the same commit as a new
+benchmark). Campaign wall-clock results (``runner_*``) are informational
+only: they depend on the host's core count, so they are printed when
+present but never gate.
+
+Intended CI use (non-blocking step):
+
+    UTRR_BENCH_SKIP_CAMPAIGN=1 ./bench/bench_perf --benchmark_min_time=0.05
+    python3 scripts/bench_check.py BENCH_perf.json build/BENCH_perf.json
+"""
+
+import argparse
+import json
+import sys
+
+WARN_RATIO = 1.3
+FAIL_RATIO = 2.0
+
+
+def load_rounds(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    rounds = {}
+    for entry in doc.get("rounds", []):
+        name = entry.get("benchmark")
+        real_ns = entry.get("real_ns")
+        if name is not None and real_ns:
+            rounds[name] = float(real_ns)
+    return doc, rounds
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_perf.json")
+    parser.add_argument("fresh", help="freshly produced BENCH_perf.json")
+    parser.add_argument(
+        "--warn-ratio", type=float, default=WARN_RATIO,
+        help="slowdown ratio that triggers a warning (default %(default)s)")
+    parser.add_argument(
+        "--fail-ratio", type=float, default=FAIL_RATIO,
+        help="slowdown ratio that fails the check (default %(default)s)")
+    args = parser.parse_args()
+
+    base_doc, base = load_rounds(args.baseline)
+    fresh_doc, fresh = load_rounds(args.fresh)
+
+    if not base or not fresh:
+        print("bench_check: no comparable rounds "
+              f"(baseline {len(base)}, fresh {len(fresh)})")
+        return 1
+
+    failures = []
+    warnings = []
+    for name in sorted(base):
+        if name not in fresh:
+            print(f"  [gone] {name}: in baseline only (skipped)")
+            continue
+        ratio = fresh[name] / base[name]
+        status = "ok"
+        if ratio > args.fail_ratio:
+            status = "FAIL"
+            failures.append(name)
+        elif ratio > args.warn_ratio:
+            status = "warn"
+            warnings.append(name)
+        print(f"  [{status:>4}] {name}: {base[name]:.0f} ns -> "
+              f"{fresh[name]:.0f} ns ({ratio:.2f}x)")
+    for name in sorted(set(fresh) - set(base)):
+        print(f"  [new ] {name}: {fresh[name]:.0f} ns (no baseline)")
+
+    speedup = fresh_doc.get("results", {}).get("runner_speedup")
+    if speedup is not None:
+        jobs = fresh_doc.get("results", {}).get("runner_parallel_jobs")
+        hw = fresh_doc.get("results", {}).get("hardware_concurrency")
+        print(f"  [info] runner_speedup {speedup:.2f}x at {jobs} jobs "
+              f"(hardware_concurrency {hw}) — host-dependent, not gated")
+
+    if failures:
+        print(f"bench_check: FAIL — {len(failures)} benchmark(s) more "
+              f"than {args.fail_ratio}x slower: {', '.join(failures)}")
+        return 1
+    if warnings:
+        print(f"bench_check: {len(warnings)} benchmark(s) more than "
+              f"{args.warn_ratio}x slower (warning only)")
+    else:
+        print("bench_check: all benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "dram/bank.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hh"
@@ -9,7 +10,8 @@ namespace utrr
 
 DramBank::DramBank(Bank id, Row phys_rows,
                    const PhysicsGenerator *generator)
-    : id(id), physRowCount(phys_rows), gen(generator)
+    : id(id), physRowCount(phys_rows), gen(generator),
+      slotOf(static_cast<std::size_t>(phys_rows), -1)
 {
     UTRR_ASSERT(gen != nullptr, "bank needs a physics generator");
 }
@@ -20,26 +22,30 @@ DramBank::rowAt(Row phys_row, Time now)
     UTRR_ASSERT(phys_row >= 0 && phys_row < physRowCount,
                 logFmt("physical row ", phys_row, " out of range in bank ",
                        id));
-    auto it = rows.find(phys_row);
-    if (it == rows.end()) {
+    std::int32_t &slot = slotOf[static_cast<std::size_t>(phys_row)];
+    if (slot < 0) {
         // Materialize with retention physics only; hammer cells attach
-        // lazily on first disturbance (they are ~30x larger).
+        // lazily once disturbance charge approaches the row's base
+        // threshold (they are ~30x larger to generate).
         RowPhysics phys = gen->generateRetention(id, phys_row);
         const auto &ret = gen->retentionConfig();
         Rng vrt_rng = Rng(hashMix(
             0x9e3779b9ULL ^ (static_cast<std::uint64_t>(id) << 44) ^
             static_cast<std::uint64_t>(phys_row)));
-        it = rows
-                 .emplace(phys_row,
-                          RowState(std::move(phys), now, vrt_rng,
-                                   gen->rowBits(),
-                                   msToNs(ret.vrtDwellMs),
-                                   ret.vrtHighFactor))
-                 .first;
+        slot = static_cast<std::int32_t>(states.size());
+        states.emplace_back(std::move(phys), now, vrt_rng, gen->rowBits(),
+                            msToNs(ret.vrtDwellMs), ret.vrtHighFactor);
         if (baseRetentionScale != 1.0)
-            it->second.setRetentionScale(baseRetentionScale);
+            states.back().setRetentionScale(baseRetentionScale);
     }
-    return it->second;
+    return states[static_cast<std::size_t>(slot)];
+}
+
+void
+DramBank::attachHammerCells(Row phys_row, RowState &state)
+{
+    RowPhysics full = gen->generate(id, phys_row);
+    state.setHammerCells(std::move(full.hammerCells));
 }
 
 void
@@ -52,28 +58,26 @@ void
 DramBank::scaleAllRetention(double factor)
 {
     baseRetentionScale *= factor;
-    for (auto &[row, state] : rows)
+    for (RowState &state : states)
         state.scaleRetention(factor);
 }
 
 const RowState *
 DramBank::peekRow(Row phys_row) const
 {
-    const auto it = rows.find(phys_row);
-    return it == rows.end() ? nullptr : &it->second;
+    if (phys_row < 0 || phys_row >= physRowCount)
+        return nullptr;
+    const std::int32_t slot = slotOf[static_cast<std::size_t>(phys_row)];
+    return slot < 0 ? nullptr : &states[static_cast<std::size_t>(slot)];
 }
 
 void
-DramBank::disturbOne(Row aggressor, RowState &aggr_state, Row victim,
+DramBank::disturbOne(Row aggressor, std::uint64_t aggr_word0, Row victim,
                      double weight, Time now)
 {
     if (victim < 0 || victim >= physRowCount)
         return;
     RowState &v = rowAt(victim, now);
-    if (!v.hasHammerCells()) {
-        RowPhysics full = gen->generate(id, victim);
-        v.setHammerCells(std::move(full.hammerCells));
-    }
 
     const auto &ham = gen->hammerConfig();
     double w = weight;
@@ -82,7 +86,7 @@ DramBank::disturbOne(Row aggressor, RowState &aggr_state, Row victim,
     if (v.lastDisturber() == aggressor)
         w *= ham.repeatWeight;
     // Aggressor/victim data coupling: same stored data disturbs less.
-    if (aggr_state.storedWord0() == v.storedWord0())
+    if (aggr_word0 == v.storedWord0())
         w *= ham.sameDataWeight;
     v.addDisturbance(aggressor, w);
 }
@@ -91,18 +95,20 @@ void
 DramBank::disturbNeighbours(Row aggressor, Time now)
 {
     const auto &ham = gen->hammerConfig();
-    RowState &aggr = rowAt(aggressor, now);
+    // Pass the aggressor's coupling word by value: victim
+    // materialization must not rely on the aggressor reference.
+    const std::uint64_t word0 = rowAt(aggressor, now).storedWord0();
     if (ham.paired) {
         // Paired-row organization (C0-8): a row only disturbs its pair.
-        disturbOne(aggressor, aggr, aggressor ^ 1, 1.0, now);
+        disturbOne(aggressor, word0, aggressor ^ 1, 1.0, now);
         return;
     }
-    disturbOne(aggressor, aggr, aggressor - 1, 1.0, now);
-    disturbOne(aggressor, aggr, aggressor + 1, 1.0, now);
+    disturbOne(aggressor, word0, aggressor - 1, 1.0, now);
+    disturbOne(aggressor, word0, aggressor + 1, 1.0, now);
     if (ham.distance2Weight > 0.0) {
-        disturbOne(aggressor, aggr, aggressor - 2, ham.distance2Weight,
+        disturbOne(aggressor, word0, aggressor - 2, ham.distance2Weight,
                    now);
-        disturbOne(aggressor, aggr, aggressor + 2, ham.distance2Weight,
+        disturbOne(aggressor, word0, aggressor + 2, ham.distance2Weight,
                    now);
     }
 }
@@ -115,7 +121,10 @@ DramBank::activate(Row phys_row, Time now)
                        " still open"));
     open = phys_row;
     ++acts;
-    rowAt(phys_row, now).restoreCharge(now);
+    RowState &state = rowAt(phys_row, now);
+    if (state.needsHammerCells())
+        attachHammerCells(phys_row, state);
+    state.restoreCharge(now);
     disturbNeighbours(phys_row, now);
 }
 
@@ -137,33 +146,49 @@ void
 DramBank::writeOpenRowWord(int word_idx, std::uint64_t value)
 {
     UTRR_ASSERT(open != kInvalidRow, "WR with no open row");
-    rows.at(open).writeWord(word_idx, value);
+    const std::int32_t slot = slotOf[static_cast<std::size_t>(open)];
+    UTRR_ASSERT(slot >= 0, "open row must be materialized");
+    states[static_cast<std::size_t>(slot)].writeWord(word_idx, value);
 }
 
 RowReadout
 DramBank::readOpenRow() const
 {
     UTRR_ASSERT(open != kInvalidRow, "RD with no open row");
-    return rows.at(open).read();
+    const std::int32_t slot = slotOf[static_cast<std::size_t>(open)];
+    UTRR_ASSERT(slot >= 0, "open row must be materialized");
+    return states[static_cast<std::size_t>(slot)].read();
 }
 
 void
 DramBank::refreshRow(Row phys_row, Time now)
 {
     ++rowRefreshes;
-    auto it = rows.find(phys_row);
-    if (it == rows.end())
+    if (phys_row < 0 || phys_row >= physRowCount)
+        return;
+    const std::int32_t slot = slotOf[static_cast<std::size_t>(phys_row)];
+    if (slot < 0)
         return; // untouched rows count as fresh at materialization
-    it->second.restoreCharge(now);
+    RowState &state = states[static_cast<std::size_t>(slot)];
+    if (state.needsHammerCells())
+        attachHammerCells(phys_row, state);
+    state.restoreCharge(now);
 }
 
 void
 DramBank::refreshRange(Row phys_lo, Row phys_hi, Time now)
 {
-    for (auto it = rows.lower_bound(phys_lo);
-         it != rows.end() && it->first < phys_hi; ++it) {
+    const Row lo = std::max<Row>(phys_lo, 0);
+    const Row hi = std::min(phys_hi, physRowCount);
+    for (Row r = lo; r < hi; ++r) {
+        const std::int32_t slot = slotOf[static_cast<std::size_t>(r)];
+        if (slot < 0)
+            continue;
         ++rowRefreshes;
-        it->second.restoreCharge(now);
+        RowState &state = states[static_cast<std::size_t>(slot)];
+        if (state.needsHammerCells())
+            attachHammerCells(r, state);
+        state.restoreCharge(now);
     }
 }
 

@@ -7,13 +7,23 @@
  * and applies RowHammer disturbance to the physical neighbours of every
  * activated row. Logical-to-physical translation happens one level up,
  * in DramModule.
+ *
+ * Row storage is a direct-mapped slot table (`slotOf[phys_row]` indexes
+ * into a deque of RowState), so every lookup — including the contiguous
+ * scan of refreshRange — is O(1) with no tree walks. The deque keeps
+ * references stable while neighbour materialization happens mid-ACT.
+ * Hammer cells stay ungenerated until a row's accumulated charge reaches
+ * its base-threshold lower bound (RowPhysics::hammerBaseThreshold); until
+ * then the cells are inert at any charge the row can hold, so deferring
+ * them is bit-identical and skips the dominant cold-path cost.
  */
 
 #ifndef UTRR_DRAM_BANK_HH
 #define UTRR_DRAM_BANK_HH
 
 #include <cstdint>
-#include <map>
+#include <deque>
+#include <vector>
 
 #include "common/types.hh"
 #include "dram/physics.hh"
@@ -79,7 +89,7 @@ class DramBank
     std::uint64_t rowRefreshCount() const { return rowRefreshes; }
 
     /** Number of materialized rows (memory footprint diagnostics). */
-    std::size_t materializedRows() const { return rows.size(); }
+    std::size_t materializedRows() const { return states.size(); }
 
     /**
      * Fault-injection hook: multiply one row's retention scale
@@ -96,14 +106,19 @@ class DramBank
 
   private:
     void disturbNeighbours(Row aggressor, Time now);
-    void disturbOne(Row aggressor, RowState &aggr_state, Row victim,
+    void disturbOne(Row aggressor, std::uint64_t aggr_word0, Row victim,
                     double weight, Time now);
+    /** Generate and attach hammer cells once charge demands them. */
+    void attachHammerCells(Row phys_row, RowState &state);
 
     Bank id;
     Row physRowCount;
     double baseRetentionScale = 1.0;
     const PhysicsGenerator *gen;
-    std::map<Row, RowState> rows;
+    /** phys_row -> index into `states`; -1 = not materialized. */
+    std::vector<std::int32_t> slotOf;
+    /** Materialized rows in first-touch order (stable references). */
+    std::deque<RowState> states;
     Row open = kInvalidRow;
     std::uint64_t acts = 0;
     std::uint64_t rowRefreshes = 0;

@@ -152,9 +152,9 @@ DramModule::ref(Time now)
     ++refs;
 
     // Regular refresh: every bank refreshes the same physical window.
-    for (const auto &[lo, hi] : engine.onRefresh()) {
+    if (const auto range = engine.onRefresh()) {
         for (auto &bank : banks)
-            bank.refreshRange(lo, hi, now);
+            bank.refreshRange(range->first, range->second, now);
     }
 
     // TRR-induced refresh piggybacking on this REF (footnote 3).

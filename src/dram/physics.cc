@@ -84,8 +84,8 @@ PhysicsGenerator::fillRetention(RowPhysics &phys, Rng &rng) const
               });
 }
 
-void
-PhysicsGenerator::fillHammer(RowPhysics &phys, Rng &rng) const
+double
+PhysicsGenerator::drawHammerBase(Rng &rng) const
 {
     // Per-row base threshold: the module's weakest rows flip at
     // HC_first per-aggressor ACTs of interleaved double-sided
@@ -94,11 +94,19 @@ PhysicsGenerator::fillHammer(RowPhysics &phys, Rng &rng) const
     // couples to a single aggressor whose repeated ACTs carry the
     // repeat-discounted weight, so HC_first hammers deliver
     // ~0.5 * HC_first units.
+    //
+    // This single draw sits between the retention draws and the
+    // hammer-cell draws, so generate() and generateRetention() consume
+    // identical RNG prefixes and lazy hammer-cell attachment stays
+    // bit-identical to eager generation.
     const double hc_units =
         (hamCfg.paired ? hamCfg.repeatWeight : 2.0) * hamCfg.hcFirst;
-    const double base =
-        hc_units * (1.0 + std::abs(rng.gaussian(0.0, hamCfg.rowSigma)));
+    return hc_units * (1.0 + std::abs(rng.gaussian(0.0, hamCfg.rowSigma)));
+}
 
+void
+PhysicsGenerator::fillHammer(RowPhysics &phys, Rng &rng, double base) const
+{
     // Hammer-vulnerable cells cluster in a limited set of words: the
     // paper observes up to 7 RowHammer bit flips within a single
     // 8-byte dataword (§7.4), which requires spatial locality of the
@@ -142,7 +150,8 @@ PhysicsGenerator::generate(Bank bank, Row phys_row) const
     RowPhysics phys;
     Rng rng = rowRng(bank, phys_row);
     fillRetention(phys, rng);
-    fillHammer(phys, rng);
+    phys.hammerBaseThreshold = drawHammerBase(rng);
+    fillHammer(phys, rng, phys.hammerBaseThreshold);
     return phys;
 }
 
@@ -152,6 +161,7 @@ PhysicsGenerator::generateRetention(Bank bank, Row phys_row) const
     RowPhysics phys;
     Rng rng = rowRng(bank, phys_row);
     fillRetention(phys, rng);
+    phys.hammerBaseThreshold = drawHammerBase(rng);
     return phys;
 }
 

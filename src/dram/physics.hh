@@ -24,6 +24,7 @@
 #define UTRR_DRAM_PHYSICS_HH
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hh"
@@ -147,6 +148,18 @@ struct RowPhysics
     /** Hammer cells sorted by ascending threshold. */
     std::vector<HammerCell> hammerCells;
 
+    /**
+     * Strict lower bound on every hammer-cell threshold of this row,
+     * known without generating the cells themselves (it is the per-row
+     * base threshold; cells spread upward from it). The bank defers
+     * hammer-cell generation until a row's accumulated charge reaches
+     * this bound, which keeps lightly-disturbed rows (every neighbour
+     * of a scanned row) free of the ~cellsPerRow generation cost.
+     * +inf for hand-built physics that never attach hammer cells.
+     */
+    double hammerBaseThreshold =
+        std::numeric_limits<double>::infinity();
+
     /** Retention of the weakest (non-VRT-adjusted) cell; 0 if none. */
     Time minRetention() const
     {
@@ -179,7 +192,8 @@ class PhysicsGenerator
 
   private:
     void fillRetention(RowPhysics &phys, Rng &rng) const;
-    void fillHammer(RowPhysics &phys, Rng &rng) const;
+    double drawHammerBase(Rng &rng) const;
+    void fillHammer(RowPhysics &phys, Rng &rng, double base) const;
 
     Rng rowRng(Bank bank, Row phys_row) const;
 

@@ -12,7 +12,7 @@ RefreshEngine::RefreshEngine(Row phys_rows, int period_refs)
     UTRR_ASSERT(period_refs > 0, "need a positive refresh period");
 }
 
-std::vector<std::pair<Row, Row>>
+std::optional<std::pair<Row, Row>>
 RefreshEngine::onRefresh()
 {
     // Integer bresenham-style accumulator: after `period` REFs exactly
@@ -39,10 +39,9 @@ RefreshEngine::onRefresh()
     if (ctrSweeps != nullptr && refs % static_cast<std::uint64_t>(period) == 0)
         ctrSweeps->inc();
 
-    std::vector<std::pair<Row, Row>> ranges;
     if (end > begin)
-        ranges.emplace_back(begin, end);
-    return ranges;
+        return std::make_pair(begin, end);
+    return std::nullopt;
 }
 
 int

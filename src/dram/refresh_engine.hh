@@ -15,8 +15,8 @@
 #define UTRR_DRAM_REFRESH_ENGINE_HH
 
 #include <cstdint>
+#include <optional>
 #include <utility>
-#include <vector>
 
 #include "common/types.hh"
 #include "obs/metrics.hh"
@@ -39,10 +39,13 @@ class RefreshEngine
     RefreshEngine(Row phys_rows, int period_refs);
 
     /**
-     * Advance by one REF command; returns the physical row ranges
-     * refreshed by this REF (two ranges when the sweep wraps around).
+     * Advance by one REF command; returns the half-open physical row
+     * range [lo, hi) refreshed by this REF, or nullopt when this REF
+     * refreshes no rows (period longer than the row count). Each sweep
+     * chunk is contiguous, so a single range always suffices — no heap
+     * allocation on the per-REF hot path.
      */
-    std::vector<std::pair<Row, Row>> onRefresh();
+    std::optional<std::pair<Row, Row>> onRefresh();
 
     /** REF commands needed to refresh every row once. */
     int periodRefs() const { return period; }

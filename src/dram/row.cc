@@ -8,9 +8,18 @@
 namespace utrr
 {
 
-RowReadout::RowReadout(DataPattern pattern, Row pattern_row,
-                       std::unordered_map<int, std::uint64_t> overrides,
-                       std::vector<Col> flips, int row_bits)
+namespace
+{
+
+const std::vector<Col> kNoFlips;
+
+} // namespace
+
+RowReadout::RowReadout(
+    DataPattern pattern, Row pattern_row,
+    std::shared_ptr<const std::unordered_map<int, std::uint64_t>>
+        overrides,
+    std::shared_ptr<const std::vector<Col>> flips, int row_bits)
     : pattern(pattern), patternRow(pattern_row),
       overrides(std::move(overrides)), flips(std::move(flips)),
       bits(row_bits)
@@ -20,10 +29,18 @@ RowReadout::RowReadout(DataPattern pattern, Row pattern_row,
 std::uint64_t
 RowReadout::storedWord(int word_idx) const
 {
-    const auto it = overrides.find(word_idx);
-    if (it != overrides.end())
-        return it->second;
+    if (overrides) {
+        const auto it = overrides->find(word_idx);
+        if (it != overrides->end())
+            return it->second;
+    }
     return pattern.word(patternRow, word_idx);
+}
+
+const std::vector<Col> &
+RowReadout::rawFlips() const
+{
+    return flips ? *flips : kNoFlips;
 }
 
 bool
@@ -31,8 +48,8 @@ RowReadout::bit(Col col) const
 {
     const std::uint64_t w = storedWord(col / 64);
     const bool stored = ((w >> (col % 64)) & 1) != 0;
-    const bool is_flipped =
-        std::binary_search(flips.begin(), flips.end(), col);
+    const auto &f = rawFlips();
+    const bool is_flipped = std::binary_search(f.begin(), f.end(), col);
     return stored ^ is_flipped;
 }
 
@@ -41,9 +58,10 @@ RowReadout::word(int word_idx) const
 {
     std::uint64_t w = storedWord(word_idx);
     // Apply flips within this word.
+    const auto &f = rawFlips();
     const Col lo = static_cast<Col>(word_idx) * 64;
-    auto it = std::lower_bound(flips.begin(), flips.end(), lo);
-    for (; it != flips.end() && *it < lo + 64; ++it)
+    auto it = std::lower_bound(f.begin(), f.end(), lo);
+    for (; it != f.end() && *it < lo + 64; ++it)
         w ^= 1ULL << (*it - lo);
     return w;
 }
@@ -53,11 +71,16 @@ RowReadout::injectFlip(Col col)
 {
     UTRR_ASSERT(col >= 0 && col < bits,
                 logFmt("injected flip column ", col, " out of range"));
-    const auto it = std::lower_bound(flips.begin(), flips.end(), col);
-    if (it != flips.end() && *it == col)
-        flips.erase(it); // double fault cancels out
+    // The flip list may be shared with the row that produced this
+    // readout: mutate a private copy.
+    auto copy = flips ? std::make_shared<std::vector<Col>>(*flips)
+                      : std::make_shared<std::vector<Col>>();
+    const auto it = std::lower_bound(copy->begin(), copy->end(), col);
+    if (it != copy->end() && *it == col)
+        copy->erase(it); // double fault cancels out
     else
-        flips.insert(it, col);
+        copy->insert(it, col);
+    flips = std::move(copy);
 }
 
 std::vector<Col>
@@ -65,9 +88,9 @@ RowReadout::flipsVs(const DataPattern &expected, Row expected_row) const
 {
     // Fast path: the expectation is exactly what was last written, so
     // the committed flips are the answer (modulo word overrides).
-    if (overrides.empty() && expected == pattern &&
+    if (!hasOverrides() && expected == pattern &&
         expected_row == patternRow) {
-        return flips;
+        return rawFlips();
     }
 
     std::vector<Col> result;
@@ -88,9 +111,9 @@ int
 RowReadout::countFlipsVs(const DataPattern &expected,
                          Row expected_row) const
 {
-    if (overrides.empty() && expected == pattern &&
+    if (!hasOverrides() && expected == pattern &&
         expected_row == patternRow) {
-        return static_cast<int>(flips.size());
+        return static_cast<int>(rawFlips().size());
     }
     return static_cast<int>(flipsVs(expected, expected_row).size());
 }
@@ -101,14 +124,77 @@ RowState::RowState(RowPhysics physics, Time now, Rng vrt_rng, int row_bits,
       lastVrtCheck(now), vrtDwell(vrt_dwell),
       vrtHighFactor(vrt_high_factor), bits(row_bits)
 {
+    for (const WeakCell &cell : phys.weakCells)
+        vrtRow = vrtRow || cell.vrt;
+    weakSorted = std::is_sorted(
+        phys.weakCells.begin(), phys.weakCells.end(),
+        [](const WeakCell &a, const WeakCell &b) {
+            return a.retention < b.retention;
+        });
+    refreshMinRetention();
+    if (!phys.hammerCells.empty()) {
+        // Hammer cells supplied up front (hand-built physics): behave
+        // exactly as if they had just been attached.
+        hammerAttached = true;
+        hammerFloor = std::numeric_limits<double>::infinity();
+        for (const HammerCell &cell : phys.hammerCells)
+            hammerFloor = std::min(hammerFloor, cell.threshold);
+    } else {
+        hammerFloor = phys.hammerBaseThreshold;
+    }
+}
+
+void
+RowState::refreshMinRetention()
+{
+    if (phys.weakCells.empty()) {
+        minRetCache = std::numeric_limits<Time>::max();
+        return;
+    }
+    Time min_ret = phys.weakCells.front().retention;
+    if (!weakSorted) {
+        for (const WeakCell &cell : phys.weakCells)
+            min_ret = std::min(min_ret, cell.retention);
+    }
+    // Mirror effectiveRetention()'s arithmetic exactly: the scaled value
+    // is monotone in the raw retention, so the weakest cell's scaled
+    // retention bounds every cell's.
+    minRetCache = retScale == 1.0
+        ? min_ret
+        : static_cast<Time>(static_cast<double>(min_ret) * retScale);
+}
+
+std::unordered_map<int, std::uint64_t> &
+RowState::mutableOverrides()
+{
+    if (!overrides)
+        overrides =
+            std::make_shared<std::unordered_map<int, std::uint64_t>>();
+    else if (overrides.use_count() > 1)
+        overrides =
+            std::make_shared<std::unordered_map<int, std::uint64_t>>(
+                *overrides);
+    return *overrides;
+}
+
+std::vector<Col> &
+RowState::mutableFlips()
+{
+    if (!flips)
+        flips = std::make_shared<std::vector<Col>>();
+    else if (flips.use_count() > 1)
+        flips = std::make_shared<std::vector<Col>>(*flips);
+    return *flips;
 }
 
 bool
 RowState::storedBit(Col col) const
 {
-    const auto it = overrides.find(col / 64);
-    if (it != overrides.end())
-        return ((it->second >> (col % 64)) & 1) != 0;
+    if (overrides) {
+        const auto it = overrides->find(col / 64);
+        if (it != overrides->end())
+            return ((it->second >> (col % 64)) & 1) != 0;
+    }
     return pattern.bit(patRow, col);
 }
 
@@ -143,18 +229,32 @@ RowState::effectiveRetention(const WeakCell &cell, Time now)
 }
 
 void
+RowState::commitFlip(Col col)
+{
+    std::vector<Col> &f = mutableFlips();
+    const auto it = std::lower_bound(f.begin(), f.end(), col);
+    if (it == f.end() || *it != col)
+        f.insert(it, col);
+}
+
+void
 RowState::commitDueFlips(Time now)
 {
     const Time elapsed = now - lastRestore;
 
     // Retention failures: a charged cell decays once elapsed exceeds its
-    // (VRT-adjusted) retention time.
+    // (VRT-adjusted) retention time. The cells are sorted by retention,
+    // so on a VRT-free row the first surviving cell ends the scan (a VRT
+    // cell's retention draw is visible state and must always happen).
     for (const WeakCell &cell : phys.weakCells) {
-        if (elapsed <= effectiveRetention(cell, now))
+        if (elapsed <= effectiveRetention(cell, now)) {
+            if (weakSorted && !vrtRow)
+                break;
             continue;
+        }
         if (storedBit(cell.col) != cell.chargedValue)
             continue; // already in the discharged state
-        flipped.insert(cell.col);
+        commitFlip(cell.col);
     }
 
     // RowHammer failures: cells whose threshold has been crossed by the
@@ -165,14 +265,26 @@ RowState::commitDueFlips(Time now)
             break;
         if (storedBit(cell.col) != cell.chargedValue)
             continue;
-        flipped.insert(cell.col);
+        commitFlip(cell.col);
     }
+}
+
+bool
+RowState::canSkipCommit(Time now) const
+{
+    if (vrtRow || charge >= hammerFloor)
+        return false;
+    return now - lastRestore <= minRetCache;
 }
 
 void
 RowState::restoreCharge(Time now)
 {
-    commitDueFlips(now);
+    UTRR_ASSERT(hammerAttached || charge < phys.hammerBaseThreshold,
+                "hammer cells must be attached before a restore that "
+                "crosses the row's base threshold");
+    if (!canSkipCommit(now))
+        commitDueFlips(now);
     lastRestore = now;
     charge = 0.0;
     lastAggressor = kInvalidRow;
@@ -191,35 +303,42 @@ RowState::writePattern(const DataPattern &new_pattern, Row pattern_row,
 {
     pattern = new_pattern;
     patRow = pattern_row;
-    overrides.clear();
-    flipped.clear();
+    overrides.reset();
+    flips.reset();
     lastRestore = now;
 }
 
 void
 RowState::writeWord(int word_idx, std::uint64_t value)
 {
-    overrides[word_idx] = value;
+    mutableOverrides()[word_idx] = value;
     // Writing a word recharges exactly its cells: drop flips within it.
+    if (!flips || flips->empty())
+        return;
     const Col lo = static_cast<Col>(word_idx) * 64;
-    auto it = flipped.lower_bound(lo);
-    while (it != flipped.end() && *it < lo + 64)
-        it = flipped.erase(it);
+    auto first = std::lower_bound(flips->begin(), flips->end(), lo);
+    if (first == flips->end() || *first >= lo + 64)
+        return; // nothing to drop: leave the shared list untouched
+    std::vector<Col> &f = mutableFlips();
+    const auto begin = std::lower_bound(f.begin(), f.end(), lo);
+    const auto end = std::lower_bound(begin, f.end(), lo + 64);
+    f.erase(begin, end);
 }
 
 RowReadout
 RowState::read() const
 {
-    std::vector<Col> flips(flipped.begin(), flipped.end());
-    return RowReadout(pattern, patRow, overrides, std::move(flips), bits);
+    return RowReadout(pattern, patRow, overrides, flips, bits);
 }
 
 std::uint64_t
 RowState::storedWord0() const
 {
-    const auto it = overrides.find(0);
-    if (it != overrides.end())
-        return it->second;
+    if (overrides) {
+        const auto it = overrides->find(0);
+        if (it != overrides->end())
+            return it->second;
+    }
     return pattern.word(patRow, 0);
 }
 
@@ -227,6 +346,10 @@ void
 RowState::setHammerCells(std::vector<HammerCell> cells)
 {
     phys.hammerCells = std::move(cells);
+    hammerAttached = true;
+    hammerFloor = std::numeric_limits<double>::infinity();
+    for (const HammerCell &cell : phys.hammerCells)
+        hammerFloor = std::min(hammerFloor, cell.threshold);
 }
 
 } // namespace utrr

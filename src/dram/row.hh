@@ -15,14 +15,25 @@
  *    `now - lastRefresh` exceeds a cell's (VRT-state-dependent) retention
  *    time, and hammer flips become due once accumulated disturbance
  *    charge exceeds a cell's threshold.
+ *
+ * Two hot-path optimizations keep this cheap without changing semantics:
+ *
+ *  - restoreCharge() skips the cell scan entirely when the elapsed time
+ *    is within the row's cached minimum effective retention and the
+ *    accumulated charge is below the row's hammer floor. VRT rows never
+ *    take the fast path (their telegraph RNG draws are visible state);
+ *    retention scaling recomputes the cache.
+ *  - read() returns a RowReadout that *shares* the overrides map and
+ *    flip list with the row (copy-on-write at every mutation point), so
+ *    a RD is O(1) instead of copying both containers.
  */
 
 #ifndef UTRR_DRAM_ROW_HH
 #define UTRR_DRAM_ROW_HH
 
 #include <cstdint>
-#include <optional>
-#include <set>
+#include <limits>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +47,11 @@ namespace utrr
 
 /**
  * Snapshot of a row's contents as seen by a READ burst.
+ *
+ * The snapshot shares immutable state with the RowState it came from:
+ * both containers are held behind shared_ptr-to-const (null meaning
+ * empty) and the row copies-on-write before mutating, so the readout
+ * stays a stable snapshot at zero copy cost.
  */
 class RowReadout
 {
@@ -43,9 +59,11 @@ class RowReadout
     /** Empty readout (zero-sized row); useful as a placeholder. */
     RowReadout() = default;
 
-    RowReadout(DataPattern pattern, Row pattern_row,
-               std::unordered_map<int, std::uint64_t> overrides,
-               std::vector<Col> flips, int row_bits);
+    RowReadout(
+        DataPattern pattern, Row pattern_row,
+        std::shared_ptr<const std::unordered_map<int, std::uint64_t>>
+            overrides,
+        std::shared_ptr<const std::vector<Col>> flips, int row_bits);
 
     /** Value of bit @p col. */
     bool bit(Col col) const;
@@ -68,22 +86,24 @@ class RowReadout
     int countFlipsVs(const DataPattern &expected, Row expected_row) const;
 
     /** Columns currently flipped relative to the last written data. */
-    const std::vector<Col> &rawFlips() const { return flips; }
+    const std::vector<Col> &rawFlips() const;
 
     /**
      * Fault-injection hook: toggle one bit of this readout in place
      * (models a transient read-back corruption on the bus, not a change
-     * to the stored row).
+     * to the stored row). Copies-on-write, so the originating row is
+     * untouched.
      */
     void injectFlip(Col col);
 
   private:
     std::uint64_t storedWord(int word_idx) const;
+    bool hasOverrides() const { return overrides && !overrides->empty(); }
 
     DataPattern pattern{};
     Row patternRow = 0;
-    std::unordered_map<int, std::uint64_t> overrides;
-    std::vector<Col> flips;
+    std::shared_ptr<const std::unordered_map<int, std::uint64_t>> overrides;
+    std::shared_ptr<const std::vector<Col>> flips;
     int bits = 0;
 };
 
@@ -138,9 +158,20 @@ class RowState
     /** Time of last charge restore. */
     Time lastRefresh() const { return lastRestore; }
 
-    /** Lazily attach hammer cells (generated on first disturbance). */
+    /** Lazily attach hammer cells (generated on first threshold risk). */
     bool hasHammerCells() const { return !phys.hammerCells.empty(); }
     void setHammerCells(std::vector<HammerCell> cells);
+
+    /**
+     * True when the accumulated charge has reached the row's hammer
+     * base threshold but the hammer cell list has not been generated
+     * yet. The bank must attach the cells (one generate() call) before
+     * the next restore so the due flips can commit.
+     */
+    bool needsHammerCells() const
+    {
+        return !hammerAttached && charge >= phys.hammerBaseThreshold;
+    }
 
     /** The row's physics (read-only). */
     const RowPhysics &physics() const { return phys; }
@@ -150,25 +181,46 @@ class RowState
      * cell in this row (1.0 = nominal). A mid-experiment VRT mode flip
      * multiplies by the VRT high factor (or its inverse); temperature
      * drift walks the scale of all rows together. Exactly 1.0 is
-     * guaranteed bit-identical to the unscaled physics.
+     * guaranteed bit-identical to the unscaled physics. Invalidates the
+     * fast-path minimum-retention cache.
      */
-    void scaleRetention(double factor) { retScale *= factor; }
-    void setRetentionScale(double scale) { retScale = scale; }
+    void scaleRetention(double factor)
+    {
+        retScale *= factor;
+        refreshMinRetention();
+    }
+    void setRetentionScale(double scale)
+    {
+        retScale = scale;
+        refreshMinRetention();
+    }
     double retentionScale() const { return retScale; }
 
     /** Number of committed flips. */
-    std::size_t committedFlipCount() const { return flipped.size(); }
+    std::size_t committedFlipCount() const
+    {
+        return flips ? flips->size() : 0;
+    }
 
   private:
     bool storedBit(Col col) const;
     Time effectiveRetention(const WeakCell &cell, Time now);
     void commitDueFlips(Time now);
+    void commitFlip(Col col);
+    bool canSkipCommit(Time now) const;
+    void refreshMinRetention();
+
+    /** Copy-on-write accessors: clone when a readout shares the state. */
+    std::unordered_map<int, std::uint64_t> &mutableOverrides();
+    std::vector<Col> &mutableFlips();
 
     RowPhysics phys;
     DataPattern pattern = DataPattern::allZeros();
     Row patRow = 0;
-    std::unordered_map<int, std::uint64_t> overrides;
-    std::set<Col> flipped;
+    /** Null means empty; shared with readouts, copy-on-write. */
+    std::shared_ptr<std::unordered_map<int, std::uint64_t>> overrides;
+    /** Sorted columns; null means empty; shared, copy-on-write. */
+    std::shared_ptr<std::vector<Col>> flips;
     Time lastRestore;
     double charge = 0.0;
     Row lastAggressor = kInvalidRow;
@@ -179,6 +231,19 @@ class RowState
     double vrtHighFactor;
     double retScale = 1.0;
     int bits;
+
+    // --- restoreCharge fast-path cache ---
+    /** Scaled retention of the weakest cell (Time max if none). */
+    Time minRetCache = std::numeric_limits<Time>::max();
+    /** Minimum hammer threshold to worry about: generated cells' floor
+     *  once attached, else the physics' base-threshold lower bound. */
+    double hammerFloor = std::numeric_limits<double>::infinity();
+    /** Any VRT cell forces the slow path (telegraph draws are state). */
+    bool vrtRow = false;
+    /** weakCells verified sorted: slow path may stop at first survivor. */
+    bool weakSorted = true;
+    /** Hammer cells generated (or supplied at construction). */
+    bool hammerAttached = false;
 };
 
 } // namespace utrr

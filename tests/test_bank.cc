@@ -127,6 +127,47 @@ TEST_F(BankFixture, MaterializedRowsGrowLazily)
     EXPECT_EQ(bank.materializedRows(), 5u);
 }
 
+TEST_F(BankFixture, HammerCellsAttachLazilyAtChargeThreshold)
+{
+    // Light disturbance materializes the victim with retention physics
+    // only: the ~cellsPerRow hammer population stays deferred.
+    for (int i = 0; i < 10; ++i) {
+        bank.activate(400, i);
+        bank.precharge(i);
+    }
+    const RowState *victim = bank.peekRow(401);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_GT(victim->hammerCharge(), 0.0);
+    EXPECT_FALSE(victim->hasHammerCells());
+
+    // Interleaved double-sided hammering far past the base threshold;
+    // the next refresh crosses needsHammerCells() and attaches the
+    // deferred population before restoring the row.
+    for (int i = 0; i < 10'000; ++i) {
+        bank.activate(400, 100 + i);
+        bank.precharge(100 + i);
+        bank.activate(402, 100 + i);
+        bank.precharge(100 + i);
+    }
+    bank.refreshRow(401, 20'000);
+    victim = bank.peekRow(401);
+    EXPECT_TRUE(victim->hasHammerCells());
+    EXPECT_EQ(victim->hammerCharge(), 0.0);
+}
+
+TEST_F(BankFixture, RefreshRangeClampsToPhysicalBounds)
+{
+    bank.activate(0, 0);
+    bank.writeOpenRow(DataPattern::allOnes(), 0, 0);
+    bank.precharge(0);
+    // A sweep window extending past both ends of the bank clamps to
+    // the physical row range: only the materialized rows (0 plus its
+    // two disturbed right neighbours) are refreshed.
+    bank.refreshRange(-100, 1 << 20, msToNs(10));
+    EXPECT_EQ(bank.rowRefreshCount(), 3u);
+    EXPECT_EQ(bank.peekRow(0)->lastRefresh(), msToNs(10));
+}
+
 TEST(PairedBank, OnlyPairRowDisturbed)
 {
     HammerModelConfig ham;

@@ -18,8 +18,10 @@
 #include "check/fuzzer.hh"
 #include "check/minimizer.hh"
 #include "check/oracles.hh"
+#include "dram/module.hh"
 #include "dram/module_spec.hh"
 #include "softmc/assembler.hh"
+#include "softmc/host.hh"
 
 namespace utrr
 {
@@ -133,6 +135,59 @@ TEST(Oracles, ReportsHashesAndReads)
     EXPECT_EQ(report.traceHash, again.traceHash);
     EXPECT_EQ(report.readHash, again.readHash);
     EXPECT_EQ(report.endTime, again.endTime);
+}
+
+/**
+ * Fixed-seed fuzz round for the restoreCharge fast path: the row's
+ * minimum-retention cache must be recomputed on every scaleRetention /
+ * scaleAllRetention call, so reaching the same effective scale through
+ * different step sequences (0.5 vs 0.25 * 2.0 — exact in binary
+ * floating point) must be bit-identical, including for rows that are
+ * already mid-decay when the scale changes and for rows materialized
+ * after it. A stale cache would either skip a due commit (flips
+ * missing) or take the slow path with a mismatched VRT draw count.
+ */
+TEST(Fuzzer, RetentionScaleInvalidationIsPathIndependent)
+{
+    const ModuleSpec spec = *findModuleSpec("A0");
+    const ProgramFuzzer fuzzer(spec);
+
+    const auto run = [&](std::uint64_t seed,
+                         const std::vector<double> &steps,
+                         const Program &program) {
+        DramModule module(spec, seed);
+        SoftMcHost host(module);
+        // Materialize rows and let them run mid-decay before scaling.
+        for (Row row = 0; row < 32; ++row)
+            host.writeRow(0, row, DataPattern::checkerboard());
+        host.wait(msToNs(150));
+        for (double step : steps)
+            module.scaleAllRetention(step);
+        ExecResult result = host.execute(program);
+        for (Row row = 0; row < 32; ++row)
+            result.reads.push_back(
+                ReadRecord{0, row, host.now(), host.readRow(0, row)});
+        return result;
+    };
+
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        SCOPED_TRACE("program " + std::to_string(i));
+        const Program program = fuzzer.generate(4242, i);
+        const ExecResult one = run(900 + i, {0.5}, program);
+        const ExecResult two = run(900 + i, {0.25, 2.0}, program);
+
+        ASSERT_EQ(one.reads.size(), two.reads.size());
+        ASSERT_EQ(one.endTime, two.endTime);
+        for (std::size_t r = 0; r < one.reads.size(); ++r) {
+            SCOPED_TRACE("read " + std::to_string(r));
+            const RowReadout &a = one.reads[r].readout;
+            const RowReadout &b = two.reads[r].readout;
+            ASSERT_EQ(one.reads[r].row, two.reads[r].row);
+            ASSERT_EQ(a.words(), b.words());
+            for (int w = 0; w < a.words(); ++w)
+                ASSERT_EQ(a.word(w), b.word(w)) << "word " << w;
+        }
+    }
 }
 
 TEST(Campaign, VerdictsIdenticalForAnyJobCount)

@@ -33,8 +33,8 @@ TEST_P(RefreshEngineGrid, EveryRowExactlyOncePerPeriod)
     RefreshEngine engine(rows, period);
     std::vector<int> covered(static_cast<std::size_t>(rows), 0);
     for (int ref = 0; ref < period; ++ref) {
-        for (const auto &[lo, hi] : engine.onRefresh()) {
-            for (Row r = lo; r < hi; ++r)
+        if (const auto range = engine.onRefresh()) {
+            for (Row r = range->first; r < range->second; ++r)
                 ++covered[static_cast<std::size_t>(r)];
         }
     }

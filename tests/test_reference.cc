@@ -198,6 +198,61 @@ TEST(Reference, WrWordAndRefreshSweepMatch)
     expectEquivalent(spec, program, 13);
 }
 
+TEST(Reference, RefreshStormFastPathMatches)
+{
+    // Dense REF traffic with decay windows that straddle the weakest
+    // cells' retention: production skips most per-row cell scans via
+    // the cached minimum retention while the reference always walks
+    // every cell, so any fast-path skip that misses a due commit (or
+    // fails to advance lastRestore on a skipped scan) diverges here.
+    RetentionModelConfig ret;
+    ret.weakRowFraction = 1.0;
+    ret.weakRetMedianMs = 140.0;
+    ret.weakRetMinMs = 90.0;
+    ret.weakRetMaxMs = 260.0;
+    ret.vrtRowFraction = 0.0;
+
+    const ModuleSpec spec = *findModuleSpec("A3");
+    Program program;
+    for (Row row = 0; row < 64; ++row)
+        program.writeRow(0, row, DataPattern::allOnes());
+    // Sub-threshold windows (all skips) punctuated by REF bursts, then
+    // one window past every floor (slow-path commits).
+    for (int round = 0; round < 3; ++round) {
+        program.ref(32);
+        program.wait(msToNs(60));
+    }
+    for (Row row = 0; row < 64; ++row)
+        program.readRow(0, row);
+    program.wait(msToNs(300));
+    for (Row row = 0; row < 64; ++row)
+        program.readRow(0, row);
+    expectEquivalent(spec, program, 31);
+}
+
+TEST(Reference, VrtRowsAlwaysTakeTheSlowPathMatches)
+{
+    // Every row carries a VRT cell: the fast path must be disabled for
+    // all of them, because each commit consumes one telegraph draw the
+    // reference performs unconditionally. A skipped scan on a VRT row
+    // would desynchronize the draw streams and show up within a couple
+    // of windows.
+    RetentionModelConfig ret = vrtHeavyRetention();
+    ret.vrtRowFraction = 1.0;
+
+    const ModuleSpec spec = *findModuleSpec("B0");
+    Program program;
+    for (Row row = 200; row < 216; ++row)
+        program.writeRow(2, row, DataPattern::invCheckerboard());
+    for (int burst = 0; burst < 5; ++burst) {
+        program.ref(16);
+        program.wait(msToNs(90));
+        for (Row row = 200; row < 216; ++row)
+            program.readRow(2, row);
+    }
+    expectEquivalent(spec, program, 17, &ret);
+}
+
 TEST(Reference, TrrEventAccountingMatchesGroundTruthProbe)
 {
     // The white-box surface the accounting oracle uses: ground-truth

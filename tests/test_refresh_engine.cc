@@ -14,8 +14,8 @@ TEST(RefreshEngine, EveryRowCoveredOncePerPeriod)
     RefreshEngine engine(1'000, 37);
     std::vector<int> covered(1'000, 0);
     for (int ref = 0; ref < 37; ++ref) {
-        for (const auto &[lo, hi] : engine.onRefresh()) {
-            for (Row r = lo; r < hi; ++r)
+        if (const auto range = engine.onRefresh()) {
+            for (Row r = range->first; r < range->second; ++r)
                 ++covered[static_cast<std::size_t>(r)];
         }
     }
@@ -29,13 +29,13 @@ TEST(RefreshEngine, SweepRepeatsExactly)
     RefreshEngine engine(64 * 1024 + 64, 3'758);
     std::vector<std::pair<Row, Row>> first;
     for (int ref = 0; ref < 3'758; ++ref) {
-        for (const auto &range : engine.onRefresh())
-            first.push_back(range);
+        if (const auto range = engine.onRefresh())
+            first.push_back(*range);
     }
     std::vector<std::pair<Row, Row>> second;
     for (int ref = 0; ref < 3'758; ++ref) {
-        for (const auto &range : engine.onRefresh())
-            second.push_back(range);
+        if (const auto range = engine.onRefresh())
+            second.push_back(*range);
     }
     EXPECT_EQ(first, second);
 }
@@ -51,12 +51,14 @@ TEST(RefreshEngine, RefsUntilRowConsistentWithSweep)
         const int wait = probe.refsUntilRow(target);
         bool hit = false;
         for (int k = 0; k <= wait; ++k) {
-            for (const auto &[lo, hi] : probe.onRefresh()) {
+            if (const auto range = probe.onRefresh()) {
+                const bool covers =
+                    target >= range->first && target < range->second;
                 if (k == wait) {
-                    if (target >= lo && target < hi)
+                    if (covers)
                         hit = true;
                 } else {
-                    ASSERT_FALSE(target >= lo && target < hi)
+                    ASSERT_FALSE(covers)
                         << "row refreshed earlier than predicted";
                 }
             }
@@ -80,9 +82,9 @@ TEST(RefreshEngine, ResetRestartsSweep)
     engine.onRefresh();
     engine.onRefresh();
     engine.reset();
-    const auto ranges = engine.onRefresh();
-    ASSERT_EQ(ranges.size(), 1u);
-    EXPECT_EQ(ranges[0].first, 0);
+    const auto range = engine.onRefresh();
+    ASSERT_TRUE(range.has_value());
+    EXPECT_EQ(range->first, 0);
 }
 
 TEST(RefreshEngine, PeriodLongerThanRows)
@@ -90,11 +92,15 @@ TEST(RefreshEngine, PeriodLongerThanRows)
     // Fewer rows than the period: most REFs refresh nothing.
     RefreshEngine engine(4, 16);
     int refreshed_rows = 0;
+    int empty_refs = 0;
     for (int ref = 0; ref < 16; ++ref) {
-        for (const auto &[lo, hi] : engine.onRefresh())
-            refreshed_rows += hi - lo;
+        if (const auto range = engine.onRefresh())
+            refreshed_rows += range->second - range->first;
+        else
+            ++empty_refs;
     }
     EXPECT_EQ(refreshed_rows, 4);
+    EXPECT_EQ(empty_refs, 12);
 }
 
 } // namespace

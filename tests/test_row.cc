@@ -188,6 +188,91 @@ TEST(RowState, VrtCellRetentionVaries)
     EXPECT_GT(failed, 5);
 }
 
+TEST(RowState, FastPathStillAdvancesLastRestore)
+{
+    // A chain of skipped scans (each restore well inside retention)
+    // must keep advancing lastRestore: if a skip left it stale, the
+    // final window would look longer than retention and flip a cell
+    // that was in fact refreshed in time.
+    RowState row = makeRow(oneWeakCell(10, msToNs(100)));
+    row.writePattern(DataPattern::allOnes(), 5, 0);
+    for (int i = 1; i <= 20; ++i)
+        row.restoreCharge(msToNs(90) * i); // always 90 ms apart
+    EXPECT_EQ(row.lastRefresh(), msToNs(90) * 20);
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allOnes(), 5), 0);
+    // One window past retention still commits.
+    row.restoreCharge(msToNs(90) * 20 + msToNs(150));
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allOnes(), 5), 1);
+}
+
+TEST(RowState, ScaleRetentionInvalidatesFastPathCache)
+{
+    // Halving the retention scale must take effect on the very next
+    // restore, even though the previous restores were fast-path skips
+    // that never touched the cell list.
+    RowState row = makeRow(oneWeakCell(10, msToNs(100)));
+    row.writePattern(DataPattern::allOnes(), 5, 0);
+    row.restoreCharge(msToNs(90)); // within nominal retention
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allOnes(), 5), 0);
+    row.scaleRetention(0.5); // effective retention now 50 ms
+    row.restoreCharge(msToNs(90) + msToNs(90));
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allOnes(), 5), 1);
+}
+
+TEST(RowState, ScaleRetentionUpExtendsTheSkipWindow)
+{
+    RowState row = makeRow(oneWeakCell(10, msToNs(100)));
+    row.writePattern(DataPattern::allOnes(), 5, 0);
+    row.setRetentionScale(10.0); // effective retention 1 s
+    row.restoreCharge(msToNs(800));
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allOnes(), 5), 0);
+    row.restoreCharge(msToNs(800) + msToNs(1'100));
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allOnes(), 5), 1);
+}
+
+TEST(RowReadout, IsStableSnapshotAcrossRowMutation)
+{
+    // The readout shares state with the row copy-on-write: mutating the
+    // row after the read must not change the snapshot.
+    RowState row = makeRow(oneWeakCell(10, msToNs(100)));
+    row.writePattern(DataPattern::allOnes(), 5, 0);
+    row.restoreCharge(msToNs(150)); // col 10 flipped
+    row.writeWord(2, 0xabcdULL);
+    const RowReadout snapshot = row.read();
+    // col-10 retention flip + the 54 zero bits of the 0xabcd override.
+    ASSERT_EQ(snapshot.countFlipsVs(DataPattern::allOnes(), 5), 1 + 54);
+
+    row.writeWord(0, ~0ULL);        // clears the col-10 flip
+    row.writeWord(2, ~0ULL);        // rewrites the override
+    row.restoreCharge(msToNs(400)); // commits nothing new
+    row.writePattern(DataPattern::allZeros(), 5, msToNs(401));
+
+    // Snapshot unchanged; the row reflects the new state.
+    EXPECT_EQ(snapshot.countFlipsVs(DataPattern::allOnes(), 5), 1 + 54);
+    EXPECT_FALSE(snapshot.bit(10));
+    EXPECT_EQ(snapshot.word(2), 0xabcdULL);
+    EXPECT_EQ(row.read().countFlipsVs(DataPattern::allZeros(), 5), 0);
+}
+
+TEST(RowReadout, InjectFlipDoesNotTouchTheRow)
+{
+    RowState row = makeRow(oneWeakCell(10, msToNs(100)));
+    row.writePattern(DataPattern::allOnes(), 5, 0);
+    row.restoreCharge(msToNs(150)); // col 10 flipped
+    RowReadout readout = row.read();
+
+    readout.injectFlip(20);
+    EXPECT_EQ(readout.countFlipsVs(DataPattern::allOnes(), 5), 2);
+    readout.injectFlip(10); // double fault on the committed flip
+    EXPECT_EQ(readout.countFlipsVs(DataPattern::allOnes(), 5), 1);
+
+    // The stored row never saw either injection.
+    EXPECT_EQ(row.committedFlipCount(), 1u);
+    const auto real = row.read().flipsVs(DataPattern::allOnes(), 5);
+    ASSERT_EQ(real.size(), 1u);
+    EXPECT_EQ(real[0], 10);
+}
+
 TEST(RowReadout, WordAppliesFlips)
 {
     RowState row = makeRow(oneWeakCell(3, msToNs(100)));
