@@ -5,7 +5,8 @@
  *
  * Usage: reverse_engineer [MODULE] [--fast] [--trace FILE]
  *                         [--report FILE] [--battery [SEED]]
- *                         [--chaos SEED] [--jobs N]
+ *                         [--chaos SEED] [--jobs N] [--profile]
+ *                         [--profile-folded FILE] [--telemetry FILE]
  *
  * With --trace, every DDR command of the session is recorded (bounded
  * ring buffer) and written as Chrome trace_event JSON — open the file
@@ -27,6 +28,19 @@
  * Analyzer quorum voting, fresh-row retries, simulated-time watchdog)
  * must still identify every module correctly.
  *
+ * With --profile, the hierarchical span profiler is armed for the whole
+ * run and a "what do we optimize next" table — subsystems ranked by
+ * exclusive wall time, with simulated-DRAM time alongside — is printed
+ * at the end. --profile-folded FILE additionally writes the call tree
+ * in folded-stack format ("a;b;c <usec>" lines) ready for
+ * flamegraph.pl, and --trace merges the profile into the Chrome trace
+ * as nested duration events. --report embeds the profile JSON.
+ *
+ * With --telemetry FILE, battery/chaos campaigns stream one JSONL
+ * heartbeat per finished job (progress, ETA, retry/quarantine totals,
+ * metrics snapshot) to FILE — tail it to watch a long sweep live.
+ * Validate with scripts/telemetry_check.py.
+ *
  * --jobs N sets the campaign worker count for both battery modes
  * (default: hardware concurrency; 1 preserves the serial path).
  * Results are bit-identical for every N — per-module RNG streams are
@@ -42,13 +56,16 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 
 #include "common/logging.hh"
 #include "core/mapping_reveng.hh"
 #include "core/reveng.hh"
 #include "dram/module.hh"
 #include "fault/fault_injector.hh"
+#include "obs/profiler.hh"
 #include "obs/report.hh"
+#include "obs/telemetry.hh"
 #include "runner/reveng_job.hh"
 #include "softmc/host.hh"
 
@@ -58,12 +75,37 @@ namespace
 {
 
 /**
+ * Finish a --profile run: print the exclusive-time ranking table and,
+ * when requested, write the folded-stack file for flamegraph.pl.
+ * Returns false on a failed folded-file write.
+ */
+bool
+emitProfile(const ProfileTree &tree, const std::string &folded_path)
+{
+    std::cout << "\n" << tree.table();
+    if (folded_path.empty())
+        return true;
+    std::ofstream out(folded_path);
+    if (out)
+        tree.foldedWall(out);
+    if (!out) {
+        warn("cannot write folded profile " + folded_path);
+        return false;
+    }
+    std::cout << "Wrote folded-stack profile (flamegraph.pl input) to "
+              << folded_path << "\n";
+    return true;
+}
+
+/**
  * 45-module identification campaign, fault-free (--battery) or under
  * chaos injection (--chaos). Returns the process exit code.
  */
 int
 runBatteryCampaign(bool chaos, std::uint64_t seed, int jobs,
-                   const std::string &report_path)
+                   const std::string &report_path, bool profile,
+                   const std::string &profile_folded_path,
+                   const std::string &telemetry_path)
 {
     CampaignConfig campaign;
     campaign.jobs = jobs;
@@ -71,6 +113,16 @@ runBatteryCampaign(bool chaos, std::uint64_t seed, int jobs,
     campaign.maxWatchdogRetries = 2;
     if (chaos)
         campaign.faults = FaultConfig::chaosDefaults();
+
+    std::unique_ptr<TelemetrySink> telemetry;
+    if (!telemetry_path.empty()) {
+        telemetry = std::make_unique<TelemetrySink>(telemetry_path);
+        if (!telemetry->good())
+            return 1;
+        campaign.telemetry = telemetry.get();
+        std::cout << "Streaming campaign telemetry to " << telemetry_path
+                  << "\n";
+    }
     const IdentifyJobConfig job_cfg =
         chaos ? IdentifyJobConfig::chaos() : IdentifyJobConfig::battery();
 
@@ -147,6 +199,14 @@ runBatteryCampaign(bool chaos, std::uint64_t seed, int jobs,
                       : logFmt(result.failedJobs,
                                " module(s) MISIDENTIFIED.\n"));
 
+    int exit_code = result.allOk() ? 0 : 1;
+    ProfileTree profile_tree;
+    if (profile) {
+        profile_tree = Profiler::instance().collect();
+        if (!emitProfile(profile_tree, profile_folded_path))
+            exit_code = 1;
+    }
+
     if (!report_path.empty()) {
         ExperimentReport report(chaos ? "reverse_engineer_chaos"
                                       : "reverse_engineer_battery");
@@ -169,11 +229,13 @@ runBatteryCampaign(bool chaos, std::uint64_t seed, int jobs,
                              Json(fault_cfg.dropHammerActChance));
         }
         result.fillReport(report);
+        if (profile && !profile_tree.empty())
+            report.attachProfile(profile_tree);
         if (!report.writeFile(report_path))
             return 1;
         std::cout << "Wrote campaign report to " << report_path << "\n";
     }
-    return result.allOk() ? 0 : 1;
+    return exit_code;
 }
 
 } // namespace
@@ -188,11 +250,25 @@ main(int argc, char **argv)
     bool chaos = false;
     std::uint64_t campaign_seed = 1;
     int jobs = 0; // hardware concurrency
+    bool profile_enabled = false;
     std::string trace_path;
     std::string report_path;
+    std::string profile_folded_path;
+    std::string telemetry_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--fast") == 0) {
             fast = true;
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            profile_enabled = true;
+        } else if (std::strcmp(argv[i], "--profile-folded") == 0) {
+            if (i + 1 >= argc)
+                fatal("--profile-folded needs a file argument");
+            profile_enabled = true;
+            profile_folded_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+            if (i + 1 >= argc)
+                fatal("--telemetry needs a file argument");
+            telemetry_path = argv[++i];
         } else if (std::strcmp(argv[i], "--trace") == 0) {
             if (i + 1 >= argc)
                 fatal("--trace needs a file argument");
@@ -223,9 +299,16 @@ main(int argc, char **argv)
         }
     }
 
+    if (profile_enabled)
+        Profiler::instance().setEnabled(true);
+
     if (battery || chaos)
         return runBatteryCampaign(chaos, campaign_seed, jobs,
-                                  report_path);
+                                  report_path, profile_enabled,
+                                  profile_folded_path, telemetry_path);
+    if (!telemetry_path.empty())
+        warn("--telemetry only streams during --battery/--chaos "
+             "campaigns; ignoring it for a single-module session");
 
     const auto spec_opt = findModuleSpec(name);
     if (!spec_opt)
@@ -317,13 +400,20 @@ main(int argc, char **argv)
     std::cout << "\nSummary: " << profile.summary() << "\n";
 
     int exit_code = 0;
+    ProfileTree profile_tree;
+    if (profile_enabled) {
+        profile_tree = Profiler::instance().collect();
+        if (!emitProfile(profile_tree, profile_folded_path))
+            exit_code = 1;
+    }
     if (!trace_path.empty()) {
         std::ofstream out(trace_path);
         if (!out) {
             warn("cannot write trace file " + trace_path);
             exit_code = 1;
         } else {
-            host.trace().exportChromeTrace(out);
+            host.trace().exportChromeTrace(
+                out, profile_tree.empty() ? nullptr : &profile_tree);
             out.flush();
             if (!out) {
                 warn("short write on trace file " + trace_path);
@@ -350,6 +440,8 @@ main(int argc, char **argv)
                          Json(profile.aggressorCapacity));
         report.setResult("per_bank", Json(profile.perBank));
         report.setResult("summary", Json(profile.summary()));
+        if (profile_enabled && !profile_tree.empty())
+            report.attachProfile(profile_tree);
         if (!report.writeFile(report_path))
             exit_code = 1;
         else

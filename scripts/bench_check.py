@@ -78,10 +78,12 @@ def main():
     for name in sorted(set(fresh) - set(base)):
         print(f"  [new ] {name}: {fresh[name]:.0f} ns (no baseline)")
 
-    speedup = fresh_doc.get("results", {}).get("runner_speedup")
+    results = fresh_doc.get("results", {})
+    speedup = results.get("runner_speedup")
     if speedup is not None:
-        jobs = fresh_doc.get("results", {}).get("runner_parallel_jobs")
-        hw = fresh_doc.get("results", {}).get("hardware_concurrency")
+        jobs = results.get("runner_best_jobs",
+                           results.get("runner_parallel_jobs"))
+        hw = results.get("hardware_concurrency")
         print(f"  [info] runner_speedup {speedup:.2f}x at {jobs} jobs "
               f"(hardware_concurrency {hw}) — host-dependent, not gated")
 

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Schema validator for streaming campaign telemetry (and folded profiles).
+
+Validates a JSONL telemetry file produced by ``reverse_engineer
+--battery --telemetry FILE`` (TelemetrySink, schema version 1):
+
+  * every line parses as a JSON object with an envelope of
+    ``type`` (str), ``seq`` (int) and ``wall_ms`` (number >= 0);
+  * ``seq`` starts at 0 and increases by exactly 1 per record;
+  * the first record is ``campaign_start`` carrying ``schema`` == 1,
+    ``jobs_total``, ``workers`` and ``seed``;
+  * every ``heartbeat`` carries the per-job fields (module, job_index,
+    ok, attempts, quarantined), the running campaign totals (jobs_done,
+    jobs_total, retries, quarantined_total, failures), an ``eta_ms``
+    number (-1.0 when undefined) and a ``metrics`` object mapping
+    counter names to non-negative integers;
+  * ``jobs_done`` never decreases and ends at the number of heartbeats;
+  * the last record is ``campaign_end`` with failure/retry totals and
+    the final ``ok`` verdict.
+
+With ``--folded FILE`` additionally checks a folded-stack profile
+(``reverse_engineer --profile-folded``): every line must be
+``frame(;frame)* <non-negative integer>`` — the format flamegraph.pl
+consumes.
+
+Exit status: 0 when every check passes, 1 otherwise.  Intended CI use:
+
+    reverse_engineer --battery --telemetry tel.jsonl \
+        --profile-folded prof.folded
+    python3 scripts/telemetry_check.py tel.jsonl --folded prof.folded
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SCHEMA_VERSION = 1
+
+HEARTBEAT_REQUIRED = {
+    "module": str,
+    "job_index": int,
+    "ok": bool,
+    "attempts": int,
+    "quarantined": bool,
+    "jobs_done": int,
+    "jobs_total": int,
+    "eta_ms": (int, float),
+    "retries": int,
+    "quarantined_total": int,
+    "failures": int,
+    "job_wall_ms": (int, float),
+    "job_sim_ns": int,
+    "metrics": dict,
+}
+
+FOLDED_LINE = re.compile(r"^[^ ;]+(;[^ ;]+)* \d+$")
+
+
+def fail(errors, line_no, message):
+    errors.append(f"  line {line_no}: {message}")
+
+
+def check_envelope(record, line_no, expected_seq, errors):
+    for key, kind in (("type", str), ("seq", int)):
+        if not isinstance(record.get(key), kind):
+            fail(errors, line_no, f"envelope field {key!r} missing or "
+                 f"not {kind.__name__}")
+            return False
+    wall = record.get("wall_ms")
+    if not isinstance(wall, (int, float)) or wall < 0:
+        fail(errors, line_no, "wall_ms missing or negative")
+        return False
+    if record["seq"] != expected_seq:
+        fail(errors, line_no,
+             f"seq {record['seq']} (expected {expected_seq})")
+        return False
+    return True
+
+
+def check_heartbeat(record, line_no, prev_done, errors):
+    for key, kind in HEARTBEAT_REQUIRED.items():
+        value = record.get(key)
+        # bool is an int subclass; reject it where an int is required.
+        if not isinstance(value, kind) or (kind is int
+                                           and isinstance(value, bool)):
+            fail(errors, line_no, f"heartbeat field {key!r} missing or "
+                 "wrong type")
+            return prev_done
+    if record["jobs_done"] < prev_done:
+        fail(errors, line_no, "jobs_done went backwards "
+             f"({prev_done} -> {record['jobs_done']})")
+    if record["jobs_done"] > record["jobs_total"]:
+        fail(errors, line_no, "jobs_done exceeds jobs_total")
+    for name, value in record["metrics"].items():
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            fail(errors, line_no, f"metrics[{name!r}] is not a "
+                 "non-negative integer")
+            break
+    return record["jobs_done"]
+
+
+def check_telemetry(path):
+    errors = []
+    records = []
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                fail(errors, line_no, "blank line")
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                fail(errors, line_no, f"not JSON: {exc}")
+                continue
+            if not isinstance(record, dict):
+                fail(errors, line_no, "record is not an object")
+                continue
+            records.append((line_no, record))
+
+    if not records:
+        print(f"telemetry_check: {path}: empty file")
+        return ["  no records"]
+
+    heartbeats = 0
+    jobs_done = 0
+    for idx, (line_no, record) in enumerate(records):
+        if not check_envelope(record, line_no, idx, errors):
+            continue
+        kind = record["type"]
+        if idx == 0:
+            if kind != "campaign_start":
+                fail(errors, line_no,
+                     f"first record is {kind!r}, not campaign_start")
+            elif record.get("schema") != SCHEMA_VERSION:
+                fail(errors, line_no, "campaign_start schema "
+                     f"{record.get('schema')!r} != {SCHEMA_VERSION}")
+            elif not all(isinstance(record.get(k), int)
+                         for k in ("jobs_total", "workers", "seed")):
+                fail(errors, line_no, "campaign_start missing "
+                     "jobs_total/workers/seed")
+            continue
+        if kind == "heartbeat":
+            heartbeats += 1
+            jobs_done = check_heartbeat(record, line_no, jobs_done,
+                                        errors)
+        elif kind == "campaign_end":
+            if idx != len(records) - 1:
+                fail(errors, line_no, "campaign_end is not last")
+            for key in ("jobs_total", "failures", "retries",
+                        "quarantined", "campaign_wall_ms", "ok"):
+                if key not in record:
+                    fail(errors, line_no,
+                         f"campaign_end missing {key!r}")
+        elif kind == "campaign_start":
+            fail(errors, line_no, "duplicate campaign_start")
+        else:
+            fail(errors, line_no, f"unknown record type {kind!r}")
+
+    last = records[-1][1]
+    if last.get("type") != "campaign_end":
+        fail(errors, records[-1][0], "file does not end in campaign_end")
+    elif heartbeats and jobs_done != heartbeats:
+        fail(errors, records[-1][0], f"final jobs_done {jobs_done} != "
+             f"{heartbeats} heartbeats")
+    print(f"telemetry_check: {path}: {len(records)} records, "
+          f"{heartbeats} heartbeats")
+    return errors
+
+
+def check_folded(path):
+    errors = []
+    lines = 0
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.rstrip("\n")
+            if not FOLDED_LINE.match(line):
+                fail(errors, line_no,
+                     f"not 'frame(;frame)* <count>': {line!r}")
+            lines += 1
+    if lines == 0:
+        fail(errors, 0, "empty folded profile")
+    print(f"telemetry_check: {path}: {lines} folded stacks")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("telemetry", help="JSONL telemetry file")
+    parser.add_argument("--folded", metavar="FILE",
+                        help="also validate a folded-stack profile")
+    args = parser.parse_args()
+
+    errors = check_telemetry(args.telemetry)
+    if args.folded:
+        errors += check_folded(args.folded)
+
+    if errors:
+        print("telemetry_check: FAIL")
+        for line in errors:
+            print(line)
+        return 1
+    print("telemetry_check: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

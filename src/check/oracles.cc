@@ -4,6 +4,7 @@
 
 #include "check/reference_module.hh"
 #include "common/logging.hh"
+#include "obs/profiler.hh"
 #include "dram/module.hh"
 #include "softmc/host.hh"
 #include "softmc/timing_checker.hh"
@@ -123,6 +124,7 @@ OracleReport
 runOracleSuite(const ModuleSpec &spec, const Program &program,
                const OracleConfig &cfg)
 {
+    UTRR_PROF_SCOPE("oracle.suite");
     OracleReport report;
     const std::size_t trace_cap =
         estimateTraceEvents(program, cfg.timing) + cfg.traceMargin;
@@ -153,6 +155,7 @@ runOracleSuite(const ModuleSpec &spec, const Program &program,
     const ReferenceResult ref = reference.execute(program);
 
     {
+        UTRR_PROF_SCOPE("oracle.differential");
         ViolationSink sink(report, "differential",
                            cfg.maxViolationsPerOracle);
         if (exec.reads.size() != ref.reads.size()) {
@@ -199,6 +202,7 @@ runOracleSuite(const ModuleSpec &spec, const Program &program,
     }
 
     if (cfg.checkTiming) {
+        UTRR_PROF_SCOPE("oracle.timing");
         ViolationSink sink(report, "timing",
                            cfg.maxViolationsPerOracle);
         TimingChecker checker(cfg.timing, spec.banks);
@@ -228,6 +232,7 @@ runOracleSuite(const ModuleSpec &spec, const Program &program,
     }
 
     if (cfg.checkAccounting) {
+        UTRR_PROF_SCOPE("oracle.accounting");
         ViolationSink sink(report, "accounting",
                            cfg.maxViolationsPerOracle);
         if (module.refCount() != reference.refCount())
@@ -264,6 +269,7 @@ runOracleSuite(const ModuleSpec &spec, const Program &program,
     }
 
     if (cfg.checkDeterminism) {
+        UTRR_PROF_SCOPE("oracle.determinism");
         ViolationSink sink(report, "determinism",
                            cfg.maxViolationsPerOracle);
         DramModule module2(spec, cfg.moduleSeed, cfg.retention);

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "fault/fault_injector.hh"
+#include "obs/profiler.hh"
 
 namespace utrr
 {
@@ -173,6 +174,7 @@ TrrReveng::quarantineGroups(Bank bank, const std::vector<RowGroup> &bad)
 std::vector<RowGroup>
 TrrReveng::groupsRR(int count, Bank bank)
 {
+    UTRR_PROF_SCOPE_SIM("reveng.scout_groups", host.clockPtr());
     auto &pool = rrPools[bank];
     if (static_cast<int>(pool.size()) < count) {
         // Over-scout: the §5.3 adjacency pre-check drops groups whose
@@ -271,6 +273,7 @@ TrrReveng::runIterations(const std::vector<RowGroup> &groups,
                          const IterationPlan &plan, int iterations,
                          const IterationPlan *first_iter_plan)
 {
+    UTRR_PROF_SCOPE_SIM("reveng.iterations", host.clockPtr());
     // One reset up front; iterations themselves must not reset so that
     // REF-count periodicities stay observable.
     std::vector<Row> avoid;
@@ -892,6 +895,7 @@ TrrReveng::discoverRegularRefreshPeriod()
 TrrReveng::IdentifyOutcome
 TrrReveng::identify()
 {
+    UTRR_PROF_SCOPE_SIM("reveng.identify", host.clockPtr());
     if (cfg.watchdogBudgetNs > 0)
         host.setWatchdogBudget(cfg.watchdogBudgetNs);
     IdentifyOutcome outcome;
@@ -910,6 +914,7 @@ TrrReveng::identify()
 TrrProfile
 TrrReveng::discoverAll(bool include_slow)
 {
+    UTRR_PROF_SCOPE_SIM("reveng.discover_all", host.clockPtr());
     if (cfg.watchdogBudgetNs > 0)
         host.setWatchdogBudget(cfg.watchdogBudgetNs);
     TrrProfile profile;

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.hh"
+#include "obs/profiler.hh"
 #include "obs/timer.hh"
 
 namespace utrr
@@ -24,6 +25,7 @@ RowScout::scanFailingRows(Time t)
 {
     // Batch profiling pass: initialize every row in the range, let the
     // whole range decay for t with refresh disabled, then read back.
+    UTRR_PROF_SCOPE_SIM("row_scout.scan", host.clockPtr());
     ScopedTimer timer(host.attachedMetrics(), "row_scout.scan");
     SimPhase phase(&host.trace(), "rs_scan", [this] { return host.now(); });
     for (Row r = cfg.rowStart; r < cfg.rowEnd; ++r)
@@ -43,6 +45,7 @@ RowScout::scanFailingRows(Time t)
 bool
 RowScout::validateRetention(Row logical_row, Time t, int checks)
 {
+    UTRR_PROF_SCOPE_SIM("row_scout.validate", host.clockPtr());
     ScopedTimer timer(host.attachedMetrics(), "row_scout.validate");
     for (int i = 0; i < checks; ++i) {
         ++validations;
@@ -138,6 +141,7 @@ RowScout::scout()
     std::map<Row, Time> first_fail;
     std::vector<RowGroup> best;
 
+    UTRR_PROF_SCOPE_SIM("row_scout.scout", host.clockPtr());
     ScopedTimer timer(host.attachedMetrics(), "row_scout.scout");
     SimPhase phase(&host.trace(), "row_scout",
                    [this] { return host.now(); });
@@ -249,6 +253,7 @@ RowScout::revalidateAndReplace(std::vector<RowGroup> groups)
 {
     if (cfg.revalidateChecks <= 0)
         return groups;
+    UTRR_PROF_SCOPE_SIM("row_scout.revalidate", host.clockPtr());
     ScopedTimer timer(host.attachedMetrics(), "row_scout.revalidate");
     SimPhase phase(&host.trace(), "rs_revalidate",
                    [this] { return host.now(); });

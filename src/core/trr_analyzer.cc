@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "fault/fault_injector.hh"
+#include "obs/profiler.hh"
 #include "obs/timer.hh"
 
 namespace utrr
@@ -82,6 +83,7 @@ void
 TrrAnalyzer::resetTrrState(Bank bank, const std::vector<Row> &avoid_phys,
                            int refs, int dummies, int hammers_per_refi)
 {
+    UTRR_PROF_SCOPE_SIM("trr_analyzer.reset_trr_state", host.clockPtr());
     const std::vector<Row> dummy_rows =
         pickDummyRows(bank, avoid_phys, dummies);
     std::size_t next = 0;
@@ -129,6 +131,7 @@ TrrAnalyzer::runExperimentMulti(const std::vector<RowGroup> &groups,
     const Bank bank = groups.front().bank;
     const Time retention = groups.front().retention;
 
+    UTRR_PROF_SCOPE_SIM("trr_analyzer.experiment", host.clockPtr());
     ScopedTimer timer(host.attachedMetrics(), "trr_analyzer.experiment");
     const auto sim_now = [this] { return host.now(); };
     const Time sim_begin = host.now();

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/profiler.hh"
 
 namespace utrr
 {
@@ -35,6 +36,7 @@ DramBank::rowAt(Row phys_row, Time now)
         slot = static_cast<std::int32_t>(states.size());
         states.emplace_back(std::move(phys), now, vrt_rng, gen->rowBits(),
                             msToNs(ret.vrtDwellMs), ret.vrtHighFactor);
+        states.back().attachPerf(&perfCounters);
         if (baseRetentionScale != 1.0)
             states.back().setRetentionScale(baseRetentionScale);
     }
@@ -44,6 +46,8 @@ DramBank::rowAt(Row phys_row, Time now)
 void
 DramBank::attachHammerCells(Row phys_row, RowState &state)
 {
+    UTRR_PROF_SCOPE("bank.attach_hammer_cells");
+    ++perfCounters.hammerCellAttaches;
     RowPhysics full = gen->generate(id, phys_row);
     state.setHammerCells(std::move(full.hammerCells));
 }

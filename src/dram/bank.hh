@@ -91,6 +91,9 @@ class DramBank
     /** Number of materialized rows (memory footprint diagnostics). */
     std::size_t materializedRows() const { return states.size(); }
 
+    /** Fast-path tallies of every row this bank owns. */
+    const RowPerfCounters &perf() const { return perfCounters; }
+
     /**
      * Fault-injection hook: multiply one row's retention scale
      * (materializing the row if needed).
@@ -122,6 +125,10 @@ class DramBank
     Row open = kInvalidRow;
     std::uint64_t acts = 0;
     std::uint64_t rowRefreshes = 0;
+    /** Shared by every RowState in `states` (addresses stay stable as
+     *  long as the bank itself does — banks are built once per module
+     *  and never moved). */
+    RowPerfCounters perfCounters;
 };
 
 } // namespace utrr

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "obs/profiler.hh"
 
 namespace utrr
 {
@@ -144,6 +145,7 @@ DramModule::victimRowsOf(Row aggressor_phys) const
 void
 DramModule::ref(Time now)
 {
+    UTRR_PROF_SCOPE("dram.ref");
     for (Bank b = 0; b < moduleSpec.banks; ++b) {
         UTRR_ASSERT(banks[static_cast<std::size_t>(b)].openRow() ==
                         kInvalidRow,
@@ -215,6 +217,35 @@ int
 DramModule::refsUntilRegularRefresh(Row phys_row) const
 {
     return engine.refsUntilRow(phys_row);
+}
+
+RowPerfCounters
+DramModule::perfTotals() const
+{
+    RowPerfCounters total;
+    for (const DramBank &bank : banks) {
+        const RowPerfCounters &p = bank.perf();
+        total.restoreFastPath += p.restoreFastPath;
+        total.restoreSlowPath += p.restoreSlowPath;
+        total.hammerCellAttaches += p.hammerCellAttaches;
+        total.readoutCowCopies += p.readoutCowCopies;
+        total.readoutShares += p.readoutShares;
+    }
+    return total;
+}
+
+void
+DramModule::publishPerfCounters()
+{
+    if (metrics == nullptr)
+        return;
+    const RowPerfCounters t = perfTotals();
+    metrics->counter("dram.restore.fast_path").value = t.restoreFastPath;
+    metrics->counter("dram.restore.slow_path").value = t.restoreSlowPath;
+    metrics->counter("dram.hammer_cell_attaches").value =
+        t.hammerCellAttaches;
+    metrics->counter("dram.readout.cow_copies").value = t.readoutCowCopies;
+    metrics->counter("dram.readout.cow_shares").value = t.readoutShares;
 }
 
 void

@@ -143,6 +143,19 @@ class DramModule
     /** Ground-truth reads so far; 0 proves a black-box run. */
     std::uint64_t groundTruthPeeks() const { return gtStore.peekCount(); }
 
+    /** Summed fast-path tallies of every bank (always counted). */
+    RowPerfCounters perfTotals() const;
+
+    /**
+     * Publish the fast-path tallies into the attached metrics registry
+     * (dram.restore.fast_path / .slow_path, dram.hammer_cell_attaches,
+     * dram.readout.cow_copies / .cow_shares). Publishing *assigns* the
+     * counter values, so calling it repeatedly (e.g. once per campaign
+     * capture and once at report time) never double-counts. No-op
+     * without a registry.
+     */
+    void publishPerfCounters();
+
   private:
     std::vector<Row> victimRowsOf(Row aggressor_phys) const;
     Counter &gtVictimCounter(Bank bank, Row phys_row);

@@ -1,6 +1,7 @@
 #include "dram/refresh_engine.hh"
 
 #include "common/logging.hh"
+#include "obs/profiler.hh"
 
 namespace utrr
 {
@@ -15,6 +16,7 @@ RefreshEngine::RefreshEngine(Row phys_rows, int period_refs)
 std::optional<std::pair<Row, Row>>
 RefreshEngine::onRefresh()
 {
+    UTRR_PROF_SCOPE("refresh_engine.on_refresh");
     // Integer bresenham-style accumulator: after `period` REFs exactly
     // `physRows` rows have been refreshed, with no drift.
     const std::uint64_t step = refs % static_cast<std::uint64_t>(period);

@@ -167,23 +167,29 @@ RowState::refreshMinRetention()
 std::unordered_map<int, std::uint64_t> &
 RowState::mutableOverrides()
 {
-    if (!overrides)
+    if (!overrides) {
         overrides =
             std::make_shared<std::unordered_map<int, std::uint64_t>>();
-    else if (overrides.use_count() > 1)
+    } else if (overrides.use_count() > 1) {
         overrides =
             std::make_shared<std::unordered_map<int, std::uint64_t>>(
                 *overrides);
+        if (perf != nullptr)
+            ++perf->readoutCowCopies;
+    }
     return *overrides;
 }
 
 std::vector<Col> &
 RowState::mutableFlips()
 {
-    if (!flips)
+    if (!flips) {
         flips = std::make_shared<std::vector<Col>>();
-    else if (flips.use_count() > 1)
+    } else if (flips.use_count() > 1) {
         flips = std::make_shared<std::vector<Col>>(*flips);
+        if (perf != nullptr)
+            ++perf->readoutCowCopies;
+    }
     return *flips;
 }
 
@@ -283,8 +289,14 @@ RowState::restoreCharge(Time now)
     UTRR_ASSERT(hammerAttached || charge < phys.hammerBaseThreshold,
                 "hammer cells must be attached before a restore that "
                 "crosses the row's base threshold");
-    if (!canSkipCommit(now))
+    if (canSkipCommit(now)) {
+        if (perf != nullptr)
+            ++perf->restoreFastPath;
+    } else {
+        if (perf != nullptr)
+            ++perf->restoreSlowPath;
         commitDueFlips(now);
+    }
     lastRestore = now;
     charge = 0.0;
     lastAggressor = kInvalidRow;
@@ -328,6 +340,8 @@ RowState::writeWord(int word_idx, std::uint64_t value)
 RowReadout
 RowState::read() const
 {
+    if (perf != nullptr)
+        ++perf->readoutShares;
     return RowReadout(pattern, patRow, overrides, flips, bits);
 }
 

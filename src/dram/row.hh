@@ -46,6 +46,29 @@ namespace utrr
 {
 
 /**
+ * Always-on tallies of the row-state fast paths (one per bank, see
+ * DramBank). Plain integers bumped through a pointer — deterministic,
+ * cheap enough to leave enabled unconditionally — published into the
+ * metrics registry as dram.restore.*, dram.hammer_cell_attaches and
+ * dram.readout.cow_* so a regression in the PR 5 invariants (fast-path
+ * hit rate collapsing, COW clones exploding) shows up as numbers
+ * instead of silent slowdown.
+ */
+struct RowPerfCounters
+{
+    /** restoreCharge() calls that skipped the cell scan entirely. */
+    std::uint64_t restoreFastPath = 0;
+    /** restoreCharge() calls that ran commitDueFlips(). */
+    std::uint64_t restoreSlowPath = 0;
+    /** Lazy hammer-cell generations (the deferred cold path). */
+    std::uint64_t hammerCellAttaches = 0;
+    /** Copy-on-write clones forced by a live shared readout. */
+    std::uint64_t readoutCowCopies = 0;
+    /** Readouts served zero-copy by sharing the row's containers. */
+    std::uint64_t readoutShares = 0;
+};
+
+/**
  * Snapshot of a row's contents as seen by a READ burst.
  *
  * The snapshot shares immutable state with the RowState it came from:
@@ -202,6 +225,9 @@ class RowState
         return flips ? flips->size() : 0;
     }
 
+    /** Attach the owning bank's fast-path tallies (nullptr detaches). */
+    void attachPerf(RowPerfCounters *counters) { perf = counters; }
+
   private:
     bool storedBit(Col col) const;
     Time effectiveRetention(const WeakCell &cell, Time now);
@@ -231,6 +257,8 @@ class RowState
     double vrtHighFactor;
     double retScale = 1.0;
     int bits;
+    /** Owning bank's fast-path tallies (not owned; may be null). */
+    RowPerfCounters *perf = nullptr;
 
     // --- restoreCharge fast-path cache ---
     /** Scaled retention of the weakest cell (Time max if none). */

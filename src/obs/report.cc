@@ -4,6 +4,8 @@
 
 #include "common/logging.hh"
 
+#include "obs/profiler.hh"
+
 namespace utrr
 {
 
@@ -53,6 +55,23 @@ void
 ExperimentReport::attachMetrics(const MetricsRegistry &registry)
 {
     root["metrics"] = registry.toJson();
+}
+
+void
+ExperimentReport::attachProfile(const ProfileTree &profile)
+{
+    Json section = profile.toJson();
+    Json ranking = Json::array();
+    for (const ProfileRankEntry &e : profile.ranking()) {
+        Json row = Json::object();
+        row["span"] = e.label;
+        row["calls"] = e.calls;
+        row["excl_wall_ns"] = e.exclusiveWallNs;
+        row["excl_sim_ns"] = static_cast<std::int64_t>(e.exclusiveSimNs);
+        ranking.push(std::move(row));
+    }
+    section["ranking"] = std::move(ranking);
+    root["profile"] = std::move(section);
 }
 
 bool

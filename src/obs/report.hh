@@ -29,6 +29,8 @@
 namespace utrr
 {
 
+struct ProfileTree;
+
 /**
  * Builder for one experiment report.
  */
@@ -54,6 +56,12 @@ class ExperimentReport
 
     /** Attach a metrics snapshot. */
     void attachMetrics(const MetricsRegistry &registry);
+
+    /**
+     * Attach the span-profiler self-report: the full tree plus the
+     * per-subsystem ranking by exclusive wall time ("profile" section).
+     */
+    void attachProfile(const ProfileTree &profile);
 
     /** Direct access for nested structures. */
     Json &config() { return root["config"]; }

@@ -1,0 +1,128 @@
+#include "obs/telemetry.hh"
+
+#include "common/logging.hh"
+
+namespace utrr
+{
+
+TelemetrySink::TelemetrySink(const std::string &path)
+    : owned(std::make_unique<std::ofstream>(path,
+                                            std::ios::out |
+                                                std::ios::trunc)),
+      out(owned.get()), startWall(std::chrono::steady_clock::now())
+{
+    if (!owned->good())
+        warn(logFmt("telemetry: cannot open ", path, " for writing"));
+}
+
+TelemetrySink::TelemetrySink(std::ostream &os)
+    : out(&os), startWall(std::chrono::steady_clock::now())
+{
+}
+
+bool
+TelemetrySink::good() const
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    return out != nullptr && out->good();
+}
+
+std::uint64_t
+TelemetrySink::recordsWritten() const
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    return seq;
+}
+
+double
+TelemetrySink::elapsedMs() const
+{
+    const auto delta = std::chrono::steady_clock::now() - startWall;
+    return std::chrono::duration<double, std::milli>(delta).count();
+}
+
+void
+TelemetrySink::emit(const char *type, Json record)
+{
+    // `record` already holds the type-specific fields; prepend the
+    // envelope by building a fresh object (keys keep insertion order).
+    Json line = Json::object();
+    line["type"] = type;
+    line["seq"] = seq;
+    line["wall_ms"] = elapsedMs();
+    for (const auto &[key, value] : record.members())
+        line[key] = value;
+    ++seq;
+    *out << line.dump() << '\n';
+    out->flush();
+}
+
+void
+TelemetrySink::campaignStart(std::uint64_t jobs_total, int workers,
+                             std::uint64_t seed)
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    startWall = std::chrono::steady_clock::now();
+    totalJobs = jobs_total;
+    Json record = Json::object();
+    record["schema"] = kTelemetrySchemaVersion;
+    record["jobs_total"] = jobs_total;
+    record["workers"] = workers;
+    record["seed"] = seed;
+    emit("campaign_start", std::move(record));
+}
+
+void
+TelemetrySink::heartbeat(const JobHeartbeat &beat)
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    Json record = Json::object();
+    record["module"] = beat.module;
+    record["job_index"] = beat.jobIndex;
+    record["ok"] = beat.ok;
+    record["attempts"] = beat.attempts;
+    record["quarantined"] = beat.quarantined;
+    record["jobs_done"] = beat.jobsDone;
+    record["jobs_total"] =
+        beat.jobsTotal == 0 ? totalJobs : beat.jobsTotal;
+    // Wall-clock ETA: elapsed / done scaled to the remainder. Crude but
+    // honest for a pool draining uniform jobs; -1 when undefined.
+    const std::uint64_t total =
+        beat.jobsTotal == 0 ? totalJobs : beat.jobsTotal;
+    double eta_ms = -1.0;
+    if (beat.jobsDone > 0 && total >= beat.jobsDone) {
+        eta_ms = elapsedMs() / static_cast<double>(beat.jobsDone) *
+            static_cast<double>(total - beat.jobsDone);
+    }
+    record["eta_ms"] = eta_ms;
+    record["retries"] = beat.retriesTotal;
+    record["quarantined_total"] = beat.quarantinedTotal;
+    record["failures"] = beat.failuresTotal;
+    record["job_wall_ms"] = beat.jobWallMs;
+    record["job_sim_ns"] = static_cast<std::int64_t>(beat.jobSimNs);
+    Json metrics = Json::object();
+    if (beat.metrics != nullptr) {
+        for (const auto &[name, counter] : beat.metrics->counters())
+            metrics[name] = counter.value;
+    }
+    record["metrics"] = std::move(metrics);
+    emit("heartbeat", std::move(record));
+}
+
+void
+TelemetrySink::campaignEnd(std::uint64_t jobs_total,
+                           std::uint64_t failures, std::uint64_t retries,
+                           std::uint64_t quarantined, double wall_ms)
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    Json record = Json::object();
+    record["jobs_total"] = jobs_total;
+    record["failures"] = failures;
+    record["retries"] = retries;
+    record["quarantined"] = quarantined;
+    record["campaign_wall_ms"] = wall_ms;
+    record["ok"] = failures == 0;
+    emit("campaign_end", std::move(record));
+}
+
+} // namespace utrr

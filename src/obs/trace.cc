@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "obs/json.hh"
+#include "obs/profiler.hh"
 
 namespace utrr
 {
@@ -43,6 +45,7 @@ CommandTrace::enable(std::size_t capacity)
     head = 0;
     count = 0;
     total = 0;
+    overflowWarned = false;
 }
 
 void
@@ -54,6 +57,7 @@ CommandTrace::disable()
     head = 0;
     count = 0;
     total = 0;
+    overflowWarned = false;
 }
 
 void
@@ -62,6 +66,19 @@ CommandTrace::clear()
     head = 0;
     count = 0;
     total = 0;
+    overflowWarned = false;
+}
+
+void
+CommandTrace::noteOverflow()
+{
+    // Out of line so the record() fast path stays small; fires exactly
+    // once per enable()/clear(). The final dropped count is published
+    // as the trace.dropped_events counter when metrics are captured.
+    overflowWarned = true;
+    warn(logFmt("command trace ring full (capacity ", cap,
+                "): oldest events are being overwritten; raise the "
+                "trace capacity for a complete Chrome trace"));
 }
 
 void
@@ -179,7 +196,8 @@ CommandTrace::text() const
 }
 
 void
-CommandTrace::exportChromeTrace(std::ostream &os) const
+CommandTrace::exportChromeTrace(std::ostream &os,
+                                const ProfileTree *profile) const
 {
     std::vector<TraceEvent> ordered = events();
     // The simulated clock is monotonic, but mitigation-penalty
@@ -228,6 +246,26 @@ CommandTrace::exportChromeTrace(std::ostream &os) const
         }
         traceEvents.push(std::move(entry));
     }
+    if (dropped() > 0) {
+        // Make the truncation visible inside the viewer, not just on
+        // stderr: an instant marker at the (new) start of the trace.
+        Json lost = Json::object();
+        lost["name"] = Json("trace ring overflow");
+        lost["ph"] = Json("i");
+        lost["s"] = Json("g");
+        lost["ts"] = Json(ordered.empty()
+                              ? 0.0
+                              : static_cast<double>(ordered.front().start)
+                                  / 1e3);
+        lost["pid"] = Json(0);
+        lost["tid"] = Json(0);
+        Json args = Json::object();
+        args["dropped_events"] = Json(dropped());
+        lost["args"] = std::move(args);
+        traceEvents.push(std::move(lost));
+    }
+    if (profile != nullptr && !profile->empty())
+        profile->appendChromeEvents(traceEvents, /*pid=*/1);
     root.write(os, 1);
     os << "\n";
 }

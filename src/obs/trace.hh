@@ -25,6 +25,8 @@
 namespace utrr
 {
 
+struct ProfileTree;
+
 /** What a trace event records. */
 enum class TraceKind : std::uint8_t
 {
@@ -143,9 +145,15 @@ class CommandTrace
     /**
      * Chrome trace_event JSON ({"traceEvents": [...]}); timestamps are
      * simulated microseconds, commands are "X" slices on a per-bank
-     * track, phases are "B"/"E" pairs on track 0.
+     * track, phases are "B"/"E" pairs on track 0. When @p profile is
+     * given, the merged span-profiler tree is appended as nested
+     * duration events on its own process track (aggregate wall time,
+     * not the simulated timeline). When events were lost to ring
+     * wraparound, an instant marker carrying the dropped count flags
+     * the truncation.
      */
-    void exportChromeTrace(std::ostream &os) const;
+    void exportChromeTrace(std::ostream &os,
+                           const ProfileTree *profile = nullptr) const;
 
   private:
     void
@@ -154,8 +162,13 @@ class CommandTrace
         head = (head + 1) % cap;
         if (count < cap)
             ++count;
+        else if (!overflowWarned)
+            noteOverflow();
         ++total;
     }
+
+    /** Cold path: warn once when the ring starts overwriting events. */
+    void noteOverflow();
 
     const char *intern(const std::string &name);
 
@@ -164,6 +177,7 @@ class CommandTrace
     std::size_t head = 0; // next slot to write
     std::size_t count = 0;
     std::uint64_t total = 0;
+    bool overflowWarned = false;
     std::deque<std::string> phaseNames;
 };
 

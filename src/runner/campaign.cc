@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "obs/profiler.hh"
 
 namespace utrr
 {
@@ -106,7 +107,13 @@ CampaignRunner::runJob(const ModuleSpec &spec, std::uint64_t index,
                        injector ? &*injector : nullptr,
                        metrics};
 
+        // Root-anchored so jobs-1 (inline on the caller's thread) and
+        // jobs-N (worker threads) merge to identical profile paths.
+        ProfSpan job_span("campaign.job", host.clockPtr(),
+                          ProfSpan::kAtRoot);
+
         auto capture = [&]() {
+            host.publishPerfCounters();
             result.metrics = metrics;
             result.traceEvents = host.trace().events();
             result.traceRecorded = host.trace().recorded();
@@ -155,11 +162,53 @@ CampaignRunner::run(const std::vector<ModuleSpec> &specs,
         std::max<std::size_t>(specs.size(), 1)));
     out.jobsUsed = workers;
 
+    // Telemetry progress tallies, shared across workers. Relaxed
+    // atomics: heartbeats are monitoring, not synchronization, and the
+    // sink itself serializes the actual writes.
+    std::atomic<std::uint64_t> beats_done{0};
+    std::atomic<std::uint64_t> beats_retries{0};
+    std::atomic<std::uint64_t> beats_quarantined{0};
+    std::atomic<std::uint64_t> beats_failures{0};
+    const std::uint64_t jobs_total = specs.size();
+    auto emitHeartbeat = [&](const ModuleResult &m) {
+        if (cfg.telemetry == nullptr)
+            return;
+        JobHeartbeat beat;
+        beat.module = m.module;
+        beat.jobIndex = m.index;
+        beat.ok = m.ok;
+        beat.attempts = m.attempts;
+        beat.quarantined = m.quarantined;
+        beat.jobsDone =
+            beats_done.fetch_add(1, std::memory_order_relaxed) + 1;
+        beat.jobsTotal = jobs_total;
+        const auto job_retries =
+            static_cast<std::uint64_t>(std::max(m.attempts - 1, 0));
+        beat.retriesTotal =
+            beats_retries.fetch_add(job_retries,
+                                    std::memory_order_relaxed) +
+            job_retries;
+        const std::uint64_t q = m.quarantined ? 1 : 0;
+        beat.quarantinedTotal =
+            beats_quarantined.fetch_add(q, std::memory_order_relaxed) + q;
+        const std::uint64_t f = m.ok ? 0 : 1;
+        beat.failuresTotal =
+            beats_failures.fetch_add(f, std::memory_order_relaxed) + f;
+        beat.jobWallMs = m.wallMs;
+        beat.jobSimNs = m.simNs;
+        beat.metrics = &m.metrics;
+        cfg.telemetry->heartbeat(beat);
+    };
+    if (cfg.telemetry != nullptr)
+        cfg.telemetry->campaignStart(jobs_total, workers, cfg.seed);
+
     const auto wall_begin = std::chrono::steady_clock::now();
     if (workers <= 1) {
         // The historical serial path: no threads, campaign order.
-        for (std::size_t i = 0; i < specs.size(); ++i)
+        for (std::size_t i = 0; i < specs.size(); ++i) {
             out.modules[i] = runJob(specs[i], i, fn);
+            emitHeartbeat(out.modules[i]);
+        }
     } else {
         // Work queue: an atomic cursor over the spec vector. Each
         // worker writes only its own results slot, so the pool needs
@@ -176,6 +225,7 @@ CampaignRunner::run(const std::vector<ModuleSpec> &specs,
                     if (i >= specs.size())
                         return;
                     out.modules[i] = runJob(specs[i], i, fn);
+                    emitHeartbeat(out.modules[i]);
                 }
             });
         }
@@ -210,6 +260,11 @@ CampaignRunner::run(const std::vector<ModuleSpec> &specs,
     out.merged.gauge("campaign.wall_ms").set(out.wallMs);
     out.merged.gauge("campaign.sim_ns")
         .set(static_cast<double>(sim_total));
+    if (cfg.telemetry != nullptr) {
+        cfg.telemetry->campaignEnd(jobs_total, out.failedJobs,
+                                   out.watchdogRetries,
+                                   out.quarantinedJobs, out.wallMs);
+    }
     return out;
 }
 

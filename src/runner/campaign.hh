@@ -47,6 +47,7 @@
 #include "fault/fault_injector.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "softmc/host.hh"
 
@@ -83,6 +84,15 @@ struct CampaignConfig
 
     /** Per-job command-trace ring capacity (0 = tracing off). */
     std::size_t traceCapacity = 0;
+
+    /**
+     * Streaming telemetry sink (not owned; nullptr = no telemetry).
+     * The runner emits campaign_start, one heartbeat per finished job
+     * (from whichever worker ran it) and campaign_end. Telemetry is
+     * observability only — it never feeds back into job execution, so
+     * attaching a sink cannot perturb the determinism guarantees.
+     */
+    TelemetrySink *telemetry = nullptr;
 };
 
 /** Everything a job body may touch. All of it is job-private. */

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "fault/fault_injector.hh"
+#include "obs/profiler.hh"
 
 namespace utrr
 {
@@ -32,6 +33,14 @@ SoftMcHost::attachMetrics(MetricsRegistry *registry)
     dram.attachMetrics(registry);
     if (fault != nullptr)
         fault->attachMetrics(registry);
+}
+
+void
+SoftMcHost::publishPerfCounters()
+{
+    dram.publishPerfCounters();
+    if (metrics != nullptr)
+        metrics->counter("trace.dropped_events").value = cmdTrace.dropped();
 }
 
 void
@@ -168,6 +177,7 @@ SoftMcHost::ref()
 void
 SoftMcHost::refBurst(int count)
 {
+    UTRR_PROF_SCOPE_SIM("softmc.ref_burst", &clock);
     for (int i = 0; i < count; ++i)
         ref();
 }
@@ -175,6 +185,7 @@ SoftMcHost::refBurst(int count)
 void
 SoftMcHost::refAtDefaultRate(int count)
 {
+    UTRR_PROF_SCOPE_SIM("softmc.ref_default_rate", &clock);
     const Time start = clock;
     for (int i = 0; i < count; ++i) {
         ref();
@@ -191,6 +202,7 @@ SoftMcHost::refAtDefaultRate(int count)
 void
 SoftMcHost::wait(Time ns)
 {
+    UTRR_PROF_SCOPE_SIM("softmc.wait", &clock);
     UTRR_ASSERT(ns >= 0, "cannot wait negative time");
     cmdTrace.record(TraceKind::kWait, 0, kInvalidRow, clock, ns);
     const Time start = clock;
@@ -203,6 +215,7 @@ SoftMcHost::wait(Time ns)
 void
 SoftMcHost::waitWithRefresh(Time ns)
 {
+    UTRR_PROF_SCOPE_SIM("softmc.wait_refresh", &clock);
     const Time start = clock;
     const Time deadline = clock + ns;
     while (clock + timingParams.tREFI <= deadline) {
@@ -256,6 +269,7 @@ SoftMcHost::hammerOnce(Bank bank, Row row)
 void
 SoftMcHost::hammer(Bank bank, Row row, int count)
 {
+    UTRR_PROF_SCOPE_SIM("softmc.hammer", &clock);
     for (int i = 0; i < count; ++i)
         hammerOnce(bank, row);
 }
@@ -265,6 +279,7 @@ SoftMcHost::hammerInterleaved(
     const std::vector<std::pair<Bank, Row>> &rows,
     const std::vector<int> &counts)
 {
+    UTRR_PROF_SCOPE_SIM("softmc.hammer_interleaved", &clock);
     UTRR_ASSERT(rows.size() == counts.size(),
                 "one count per aggressor row");
     bool remaining = true;
@@ -285,6 +300,7 @@ void
 SoftMcHost::hammerCascaded(const std::vector<std::pair<Bank, Row>> &rows,
                            const std::vector<int> &counts)
 {
+    UTRR_PROF_SCOPE_SIM("softmc.hammer_cascaded", &clock);
     UTRR_ASSERT(rows.size() == counts.size(),
                 "one count per aggressor row");
     for (std::size_t i = 0; i < rows.size(); ++i)
@@ -295,6 +311,7 @@ void
 SoftMcHost::hammerMultiBank(
     const std::vector<std::pair<Bank, Row>> &rows, int count_each)
 {
+    UTRR_PROF_SCOPE_SIM("softmc.hammer_multibank", &clock);
     // Banks hammer in parallel; throughput is limited by both the
     // per-bank cycle time and the four-activation window.
     const auto banks = static_cast<std::int64_t>(rows.size());
@@ -332,6 +349,7 @@ SoftMcHost::hammerMultiBank(
 ExecResult
 SoftMcHost::execute(const Program &program)
 {
+    UTRR_PROF_SCOPE_SIM("softmc.execute", &clock);
     ExecResult result;
     result.startTime = clock;
     for (const Instr &instr : program.instructions()) {

@@ -84,6 +84,12 @@ class SoftMcHost
     /** Current simulated time. */
     Time now() const { return clock; }
 
+    /**
+     * Stable pointer to the simulated clock, for ProfSpan sim-time
+     * attribution (valid for the host's lifetime).
+     */
+    const Time *clockPtr() const { return &clock; }
+
     const Timing &timing() const { return timingParams; }
     DramModule &module() { return dram; }
 
@@ -212,6 +218,14 @@ class SoftMcHost
     void attachMetrics(MetricsRegistry *registry);
 
     MetricsRegistry *attachedMetrics() { return metrics; }
+
+    /**
+     * Publish the substrate's always-on perf tallies into the attached
+     * registry: the DRAM fast-path counters (DramModule::
+     * publishPerfCounters) plus trace.dropped_events (command-trace
+     * ring overflow). Assignment-publish — safe to call repeatedly.
+     */
+    void publishPerfCounters();
 
   private:
     void applyMitigation(Bank bank, Row row);

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Streaming campaign telemetry: JSONL record schema, sequence
+ * numbering, ETA semantics, and the end-to-end campaign integration
+ * (one heartbeat per job from whichever worker ran it, campaign_start
+ * first, campaign_end last) — the same surface scripts/
+ * telemetry_check.py validates in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dram/module.hh"
+#include "obs/json.hh"
+#include "obs/telemetry.hh"
+#include "runner/campaign.hh"
+
+namespace utrr
+{
+namespace
+{
+
+std::vector<Json>
+parseLines(const std::string &text)
+{
+    std::vector<Json> records;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        EXPECT_FALSE(line.empty());
+        auto parsed = Json::parse(line);
+        EXPECT_TRUE(parsed.has_value()) << "unparseable line: " << line;
+        if (parsed)
+            records.push_back(std::move(*parsed));
+    }
+    return records;
+}
+
+std::int64_t
+intField(const Json &record, const char *key)
+{
+    const Json *found = record.find(key);
+    EXPECT_NE(found, nullptr) << "missing field " << key;
+    return found == nullptr ? -1 : found->asInt();
+}
+
+TEST(TelemetrySinkTest, RecordsCarryTheEnvelopeAndSchema)
+{
+    std::ostringstream os;
+    TelemetrySink sink(os);
+    ASSERT_TRUE(sink.good());
+
+    sink.campaignStart(45, 4, 1234);
+
+    MetricsRegistry metrics;
+    metrics.counter("dram.acts").inc(17);
+    JobHeartbeat beat;
+    beat.module = "A5";
+    beat.jobIndex = 3;
+    beat.ok = true;
+    beat.attempts = 1;
+    beat.jobsDone = 1;
+    beat.jobsTotal = 45;
+    beat.jobWallMs = 12.5;
+    beat.jobSimNs = 1'000'000;
+    beat.metrics = &metrics;
+    sink.heartbeat(beat);
+
+    sink.campaignEnd(45, 0, 2, 1, 321.0);
+    EXPECT_EQ(sink.recordsWritten(), 3u);
+
+    const std::vector<Json> records = parseLines(os.str());
+    ASSERT_EQ(records.size(), 3u);
+
+    // Envelope: type + monotonically increasing seq on every record.
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(intField(records[i], "seq"),
+                  static_cast<std::int64_t>(i));
+        EXPECT_NE(records[i].find("wall_ms"), nullptr);
+    }
+
+    const Json &start = records[0];
+    EXPECT_EQ(start.find("type")->asString(), "campaign_start");
+    EXPECT_EQ(intField(start, "schema"), kTelemetrySchemaVersion);
+    EXPECT_EQ(intField(start, "jobs_total"), 45);
+    EXPECT_EQ(intField(start, "workers"), 4);
+    EXPECT_EQ(intField(start, "seed"), 1234);
+
+    const Json &hb = records[1];
+    EXPECT_EQ(hb.find("type")->asString(), "heartbeat");
+    EXPECT_EQ(hb.find("module")->asString(), "A5");
+    EXPECT_EQ(intField(hb, "job_index"), 3);
+    EXPECT_TRUE(hb.find("ok")->asBool());
+    EXPECT_EQ(intField(hb, "jobs_done"), 1);
+    EXPECT_EQ(intField(hb, "job_sim_ns"), 1'000'000);
+    const Json *hb_metrics = hb.find("metrics");
+    ASSERT_NE(hb_metrics, nullptr);
+    EXPECT_EQ(intField(*hb_metrics, "dram.acts"), 17);
+
+    const Json &end = records[2];
+    EXPECT_EQ(end.find("type")->asString(), "campaign_end");
+    EXPECT_EQ(intField(end, "retries"), 2);
+    EXPECT_EQ(intField(end, "quarantined"), 1);
+    EXPECT_TRUE(end.find("ok")->asBool());
+}
+
+TEST(TelemetrySinkTest, EtaIsUndefinedUntilTheFirstJobFinishes)
+{
+    std::ostringstream os;
+    TelemetrySink sink(os);
+    sink.campaignStart(2, 1, 1);
+
+    JobHeartbeat beat;
+    beat.module = "A0";
+    beat.jobsDone = 0; // no finished jobs yet: no rate to extrapolate
+    beat.jobsTotal = 2;
+    sink.heartbeat(beat);
+    beat.jobsDone = 1;
+    sink.heartbeat(beat);
+
+    const std::vector<Json> records = parseLines(os.str());
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_DOUBLE_EQ(records[1].find("eta_ms")->asNumber(), -1.0);
+    EXPECT_GE(records[2].find("eta_ms")->asNumber(), 0.0);
+}
+
+TEST(TelemetrySinkTest, CampaignEmitsOneHeartbeatPerJob)
+{
+    std::vector<ModuleSpec> specs;
+    for (const char *name : {"A0", "B3", "C7", "A12", "B9"})
+        specs.push_back(*findModuleSpec(name));
+
+    std::ostringstream os;
+    TelemetrySink sink(os);
+    CampaignConfig config;
+    config.jobs = 2;
+    config.seed = 11;
+    config.telemetry = &sink;
+    CampaignRunner runner(config);
+    const CampaignResult result =
+        runner.run(specs, [](JobContext &ctx) {
+            ctx.host.refBurst(4);
+            JobOutcome outcome;
+            outcome.ok = true;
+            outcome.verdict = Json::object();
+            return outcome;
+        });
+    EXPECT_TRUE(result.allOk());
+
+    const std::vector<Json> records = parseLines(os.str());
+    ASSERT_EQ(records.size(), specs.size() + 2);
+    EXPECT_EQ(records.front().find("type")->asString(),
+              "campaign_start");
+    EXPECT_EQ(records.back().find("type")->asString(), "campaign_end");
+    EXPECT_EQ(intField(records.back(), "failures"), 0);
+
+    std::uint64_t prev_done = 0;
+    std::vector<std::string> modules;
+    for (std::size_t i = 1; i + 1 < records.size(); ++i) {
+        const Json &hb = records[i];
+        EXPECT_EQ(hb.find("type")->asString(), "heartbeat");
+        EXPECT_EQ(intField(hb, "seq"), static_cast<std::int64_t>(i));
+        // Progress counts every finished job exactly once, in
+        // completion order: monotone, ending at jobs_total.
+        const auto done =
+            static_cast<std::uint64_t>(intField(hb, "jobs_done"));
+        EXPECT_EQ(done, prev_done + 1);
+        prev_done = done;
+        EXPECT_EQ(intField(hb, "jobs_total"),
+                  static_cast<std::int64_t>(specs.size()));
+        EXPECT_TRUE(hb.find("ok")->asBool());
+        // The job's private metrics snapshot rode along.
+        const Json *metrics = hb.find("metrics");
+        ASSERT_NE(metrics, nullptr);
+        EXPECT_GT(intField(*metrics, "dram.refs"), 0);
+        modules.push_back(hb.find("module")->asString());
+    }
+    EXPECT_EQ(prev_done, specs.size());
+
+    // Every module reported exactly once (arrival order is free).
+    std::sort(modules.begin(), modules.end());
+    std::vector<std::string> expected;
+    for (const ModuleSpec &spec : specs)
+        expected.push_back(spec.name);
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(modules, expected);
+}
+
+TEST(TelemetrySinkTest, BadPathReportsNotGood)
+{
+    TelemetrySink sink("/nonexistent-dir/telemetry.jsonl");
+    EXPECT_FALSE(sink.good());
+}
+
+} // namespace
+} // namespace utrr
