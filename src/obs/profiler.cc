@@ -212,8 +212,9 @@ ProfileTree::table(std::size_t max_rows) const
        << '\n';
     std::size_t rows = 0;
     for (const ProfileRankEntry &e : entries) {
-        if (rows++ >= max_rows)
+        if (rows >= max_rows)
             break;
+        ++rows;
         const double wall_ms =
             static_cast<double>(e.exclusiveWallNs) / 1e6;
         const double sim_ms = static_cast<double>(e.exclusiveSimNs) / 1e6;
@@ -227,8 +228,8 @@ ProfileTree::table(std::size_t max_rows) const
            << std::setprecision(1) << share << '%' << std::setw(16)
            << std::setprecision(2) << sim_ms << '\n';
     }
-    if (entries.size() > rows)
-        os << "  ... " << (entries.size() - rows) << " more\n";
+    if (entries.size() > max_rows)
+        os << "  ... " << (entries.size() - max_rows) << " more\n";
     return os.str();
 }
 
@@ -297,20 +298,50 @@ Profiler::instance()
 detail::ThreadProf &
 Profiler::threadState()
 {
-    // One registration per thread per profiler lifetime; afterwards the
-    // span path touches only thread-local state. The cached pointer
-    // stays valid because `threads` owns states by unique_ptr and
-    // reset() clears rather than deletes them.
-    thread_local detail::ThreadProf *cached = nullptr;
-    thread_local const Profiler *cachedOwner = nullptr;
-    if (cached == nullptr || cachedOwner != this) {
-        auto state = std::make_unique<detail::ThreadProf>();
-        cached = state.get();
-        cachedOwner = this;
+    // One registration per thread; afterwards the span path touches
+    // only thread-local state. The cached pointer stays valid because
+    // `threads` owns states by unique_ptr and reset() clears rather
+    // than deletes them. The guard's destructor hands the slot back at
+    // thread exit, so a process that runs many campaigns (each with
+    // fresh worker threads) reuses slots instead of growing `threads`
+    // without bound; the slot's recorded data survives the hand-back
+    // and keeps merging into collect() until reset().
+    struct Registration
+    {
+        Profiler *owner = nullptr;
+        detail::ThreadProf *state = nullptr;
+
+        ~Registration()
+        {
+            if (owner != nullptr)
+                owner->releaseThread(state);
+        }
+    };
+    thread_local Registration reg;
+    if (reg.state == nullptr || reg.owner != this) {
         const std::lock_guard<std::mutex> lock(mutex);
-        threads.push_back(std::move(state));
+        if (freeStates.empty()) {
+            auto state = std::make_unique<detail::ThreadProf>();
+            reg.state = state.get();
+            threads.push_back(std::move(state));
+        } else {
+            reg.state = freeStates.back();
+            freeStates.pop_back();
+        }
+        reg.owner = this;
     }
-    return *cached;
+    return *reg.state;
+}
+
+void
+Profiler::releaseThread(detail::ThreadProf *state)
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    // The exiting thread is past every span (RAII scopes closed before
+    // thread_local destruction), so parking the cursor at the root
+    // leaves a clean slate for whichever thread reuses the slot.
+    state->current = 0;
+    freeStates.push_back(state);
 }
 
 namespace

@@ -180,8 +180,12 @@ class Profiler
 
     /**
      * Merge every thread's tree into one ProfileTree (children sorted
-     * by label). Safe to call while other threads record — a span
-     * still open contributes its completed children only.
+     * by label). Quiescent-only, like reset(): every recording thread
+     * must have joined (or be provably between spans for the duration
+     * of the call) — the merge reads per-thread node vectors with no
+     * synchronization, so a concurrent span opening on another thread
+     * is a data race. A span still open on the *calling* thread is
+     * fine; it contributes its completed children only.
      */
     ProfileTree collect() const;
 
@@ -192,7 +196,11 @@ class Profiler
      */
     void reset();
 
-    /** Threads that have recorded at least one span. */
+    /**
+     * Registered recording slots: threads currently recording plus
+     * exited threads' slots awaiting reuse. Bounded by the peak
+     * concurrent thread count, not the number of threads ever spawned.
+     */
     std::size_t threadCount() const;
 
   private:
@@ -203,10 +211,18 @@ class Profiler
     /** The calling thread's recording state (registered on demand). */
     detail::ThreadProf &threadState();
 
+    /**
+     * Return a slot to the free list at thread exit. Recorded data is
+     * kept (collect() after join still sees it); only the slot itself
+     * becomes reusable by the next registering thread.
+     */
+    void releaseThread(detail::ThreadProf *state);
+
     inline static std::atomic<bool> enabledFlag{false};
 
     mutable std::mutex mutex;
     std::vector<std::unique_ptr<detail::ThreadProf>> threads;
+    std::vector<detail::ThreadProf *> freeStates;
 };
 
 /**

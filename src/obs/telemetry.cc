@@ -1,5 +1,7 @@
 #include "obs/telemetry.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace utrr
@@ -64,6 +66,10 @@ TelemetrySink::campaignStart(std::uint64_t jobs_total, int workers,
     const std::lock_guard<std::mutex> lock(mutex);
     startWall = std::chrono::steady_clock::now();
     totalJobs = jobs_total;
+    jobsDone = 0;
+    retriesTotal = 0;
+    quarantinedTotal = 0;
+    failuresTotal = 0;
     Json record = Json::object();
     record["schema"] = kTelemetrySchemaVersion;
     record["jobs_total"] = jobs_total;
@@ -76,28 +82,35 @@ void
 TelemetrySink::heartbeat(const JobHeartbeat &beat)
 {
     const std::lock_guard<std::mutex> lock(mutex);
+    // Tally update and record emission happen under the same mutex, so
+    // the stream's jobs_done is strictly monotone in file order even
+    // when workers finish (and contend) simultaneously.
+    jobsDone += 1;
+    retriesTotal +=
+        static_cast<std::uint64_t>(std::max(beat.attempts - 1, 0));
+    quarantinedTotal += beat.quarantined ? 1 : 0;
+    failuresTotal += beat.ok ? 0 : 1;
+
     Json record = Json::object();
     record["module"] = beat.module;
     record["job_index"] = beat.jobIndex;
     record["ok"] = beat.ok;
     record["attempts"] = beat.attempts;
     record["quarantined"] = beat.quarantined;
-    record["jobs_done"] = beat.jobsDone;
-    record["jobs_total"] =
-        beat.jobsTotal == 0 ? totalJobs : beat.jobsTotal;
+    record["jobs_done"] = jobsDone;
+    record["jobs_total"] = totalJobs;
     // Wall-clock ETA: elapsed / done scaled to the remainder. Crude but
-    // honest for a pool draining uniform jobs; -1 when undefined.
-    const std::uint64_t total =
-        beat.jobsTotal == 0 ? totalJobs : beat.jobsTotal;
+    // honest for a pool draining uniform jobs; -1 when undefined (no
+    // campaign_start announced a plausible total).
     double eta_ms = -1.0;
-    if (beat.jobsDone > 0 && total >= beat.jobsDone) {
-        eta_ms = elapsedMs() / static_cast<double>(beat.jobsDone) *
-            static_cast<double>(total - beat.jobsDone);
+    if (totalJobs >= jobsDone) {
+        eta_ms = elapsedMs() / static_cast<double>(jobsDone) *
+            static_cast<double>(totalJobs - jobsDone);
     }
     record["eta_ms"] = eta_ms;
-    record["retries"] = beat.retriesTotal;
-    record["quarantined_total"] = beat.quarantinedTotal;
-    record["failures"] = beat.failuresTotal;
+    record["retries"] = retriesTotal;
+    record["quarantined_total"] = quarantinedTotal;
+    record["failures"] = failuresTotal;
     record["job_wall_ms"] = beat.jobWallMs;
     record["job_sim_ns"] = static_cast<std::int64_t>(beat.jobSimNs);
     Json metrics = Json::object();

@@ -21,8 +21,11 @@
  * Telemetry is explicitly *outside* the determinism surface: wall
  * times, ETA and arrival order depend on scheduling. Everything the
  * equivalence tests byte-compare (verdicts, merged counters) stays in
- * CampaignResult. The sink serializes writers with a mutex, so workers
- * may emit concurrently; schema is validated in CI by
+ * CampaignResult. The sink serializes writers with a mutex and owns
+ * the running campaign tallies (jobs done, retries, quarantines,
+ * failures), bumping them under that same mutex — so tally updates and
+ * record emission are atomic and jobs_done is monotone in file order
+ * no matter which worker finished first. Schema is validated in CI by
  * scripts/telemetry_check.py.
  */
 
@@ -44,7 +47,12 @@
 namespace utrr
 {
 
-/** Everything a per-job heartbeat reports. */
+/**
+ * Everything a per-job heartbeat reports. Only per-job facts live
+ * here; the campaign-wide running totals (jobs done, retries,
+ * quarantines, failures) are accumulated by the sink itself under its
+ * write mutex, keeping them consistent with emission order.
+ */
 struct JobHeartbeat
 {
     std::string module;
@@ -52,13 +60,6 @@ struct JobHeartbeat
     bool ok = false;
     int attempts = 0;
     bool quarantined = false;
-
-    /** Campaign progress at emission time. */
-    std::uint64_t jobsDone = 0;
-    std::uint64_t jobsTotal = 0;
-    std::uint64_t retriesTotal = 0;
-    std::uint64_t quarantinedTotal = 0;
-    std::uint64_t failuresTotal = 0;
 
     double jobWallMs = 0.0;
     Time jobSimNs = 0;
@@ -89,11 +90,18 @@ class TelemetrySink
 
     bool good() const;
 
-    /** Emit the campaign_start record and start the ETA clock. */
+    /**
+     * Emit the campaign_start record, start the ETA clock and zero the
+     * running campaign tallies.
+     */
     void campaignStart(std::uint64_t jobs_total, int workers,
                        std::uint64_t seed);
 
-    /** Emit one heartbeat record (safe from any worker thread). */
+    /**
+     * Emit one heartbeat record (safe from any worker thread). Counts
+     * the job into the running tallies under the write mutex, so
+     * jobs_done in the emitted stream is strictly monotone.
+     */
     void heartbeat(const JobHeartbeat &beat);
 
     /** Emit the campaign_end record. */
@@ -115,6 +123,11 @@ class TelemetrySink
     std::ostream *out = nullptr;
     std::uint64_t seq = 0;
     std::uint64_t totalJobs = 0;
+    /** Running campaign tallies, guarded by `mutex` like the stream. */
+    std::uint64_t jobsDone = 0;
+    std::uint64_t retriesTotal = 0;
+    std::uint64_t quarantinedTotal = 0;
+    std::uint64_t failuresTotal = 0;
     std::chrono::steady_clock::time_point startWall;
 };
 

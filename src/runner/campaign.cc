@@ -162,13 +162,9 @@ CampaignRunner::run(const std::vector<ModuleSpec> &specs,
         std::max<std::size_t>(specs.size(), 1)));
     out.jobsUsed = workers;
 
-    // Telemetry progress tallies, shared across workers. Relaxed
-    // atomics: heartbeats are monitoring, not synchronization, and the
-    // sink itself serializes the actual writes.
-    std::atomic<std::uint64_t> beats_done{0};
-    std::atomic<std::uint64_t> beats_retries{0};
-    std::atomic<std::uint64_t> beats_quarantined{0};
-    std::atomic<std::uint64_t> beats_failures{0};
+    // Workers report only per-job facts; the sink owns the running
+    // campaign tallies and bumps them under its write mutex, so
+    // jobs_done stays monotone in stream order under contention.
     const std::uint64_t jobs_total = specs.size();
     auto emitHeartbeat = [&](const ModuleResult &m) {
         if (cfg.telemetry == nullptr)
@@ -179,21 +175,6 @@ CampaignRunner::run(const std::vector<ModuleSpec> &specs,
         beat.ok = m.ok;
         beat.attempts = m.attempts;
         beat.quarantined = m.quarantined;
-        beat.jobsDone =
-            beats_done.fetch_add(1, std::memory_order_relaxed) + 1;
-        beat.jobsTotal = jobs_total;
-        const auto job_retries =
-            static_cast<std::uint64_t>(std::max(m.attempts - 1, 0));
-        beat.retriesTotal =
-            beats_retries.fetch_add(job_retries,
-                                    std::memory_order_relaxed) +
-            job_retries;
-        const std::uint64_t q = m.quarantined ? 1 : 0;
-        beat.quarantinedTotal =
-            beats_quarantined.fetch_add(q, std::memory_order_relaxed) + q;
-        const std::uint64_t f = m.ok ? 0 : 1;
-        beat.failuresTotal =
-            beats_failures.fetch_add(f, std::memory_order_relaxed) + f;
         beat.jobWallMs = m.wallMs;
         beat.jobSimNs = m.simNs;
         beat.metrics = &m.metrics;

@@ -12,6 +12,7 @@
 
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "dram/module.hh"
 #include "obs/metrics.hh"
@@ -184,6 +185,47 @@ TEST_F(ProfilerTest, TableRanksByExclusiveWallTime)
     const std::string table = Profiler::instance().collect().table();
     EXPECT_NE(table.find("exclusive wall time"), std::string::npos);
     EXPECT_NE(table.find("alpha"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, TableTruncationFooterCountsTheHiddenRows)
+{
+    ProfileTree tree;
+    for (const char *label : {"aa", "bb", "cc"}) {
+        ProfileNode node;
+        node.label = label;
+        node.calls = 1;
+        node.wallNs = 1'000'000;
+        tree.root.children.push_back(std::move(node));
+    }
+    // Exactly max_rows entries: every row printed, no footer.
+    EXPECT_EQ(tree.table(3).find("more"), std::string::npos);
+    // One entry over the cap — the historical off-by-one — must still
+    // print the footer, with the true hidden count.
+    const std::string truncated = tree.table(2);
+    EXPECT_NE(truncated.find("... 1 more"), std::string::npos);
+    EXPECT_EQ(truncated.find("cc"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ExitedThreadSlotsAreReused)
+{
+    const auto spanOnFreshThread = []() {
+        std::thread([]() {
+            ProfSpan span("worker.span");
+        }).join();
+    };
+    spanOnFreshThread();
+    const std::size_t slots = Profiler::instance().threadCount();
+    // A process running many campaigns spawns fresh workers per run;
+    // exited threads hand their slot back, so the registry stays at
+    // the peak concurrent count instead of growing per thread spawned.
+    for (int i = 0; i < 8; ++i)
+        spanOnFreshThread();
+    EXPECT_EQ(Profiler::instance().threadCount(), slots);
+    // Recorded data survives the hand-back until reset().
+    const ProfileTree tree = Profiler::instance().collect();
+    const ProfileNode *span = childNamed(tree.root, "worker.span");
+    ASSERT_NE(span, nullptr);
+    EXPECT_EQ(span->calls, 9u);
 }
 
 /**

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dram/module.hh"
@@ -63,8 +64,6 @@ TEST(TelemetrySinkTest, RecordsCarryTheEnvelopeAndSchema)
     beat.jobIndex = 3;
     beat.ok = true;
     beat.attempts = 1;
-    beat.jobsDone = 1;
-    beat.jobsTotal = 45;
     beat.jobWallMs = 12.5;
     beat.jobSimNs = 1'000'000;
     beat.metrics = &metrics;
@@ -95,7 +94,11 @@ TEST(TelemetrySinkTest, RecordsCarryTheEnvelopeAndSchema)
     EXPECT_EQ(hb.find("module")->asString(), "A5");
     EXPECT_EQ(intField(hb, "job_index"), 3);
     EXPECT_TRUE(hb.find("ok")->asBool());
+    // The sink counted the job itself against campaign_start's total.
     EXPECT_EQ(intField(hb, "jobs_done"), 1);
+    EXPECT_EQ(intField(hb, "jobs_total"), 45);
+    EXPECT_EQ(intField(hb, "retries"), 0);
+    EXPECT_EQ(intField(hb, "failures"), 0);
     EXPECT_EQ(intField(hb, "job_sim_ns"), 1'000'000);
     const Json *hb_metrics = hb.find("metrics");
     ASSERT_NE(hb_metrics, nullptr);
@@ -108,24 +111,91 @@ TEST(TelemetrySinkTest, RecordsCarryTheEnvelopeAndSchema)
     EXPECT_TRUE(end.find("ok")->asBool());
 }
 
-TEST(TelemetrySinkTest, EtaIsUndefinedUntilTheFirstJobFinishes)
+TEST(TelemetrySinkTest, SinkAccumulatesTheCampaignTallies)
 {
     std::ostringstream os;
     TelemetrySink sink(os);
-    sink.campaignStart(2, 1, 1);
+    sink.campaignStart(3, 1, 1);
 
+    // Three jobs: clean, retried, quarantined failure. The sink owns
+    // the running totals, so the heartbeats carry only per-job facts.
     JobHeartbeat beat;
     beat.module = "A0";
-    beat.jobsDone = 0; // no finished jobs yet: no rate to extrapolate
-    beat.jobsTotal = 2;
+    beat.ok = true;
+    beat.attempts = 1;
     sink.heartbeat(beat);
-    beat.jobsDone = 1;
+    beat.module = "B3";
+    beat.attempts = 3; // two watchdog retries
+    sink.heartbeat(beat);
+    beat.module = "C7";
+    beat.ok = false;
+    beat.attempts = 1;
+    beat.quarantined = true;
     sink.heartbeat(beat);
 
     const std::vector<Json> records = parseLines(os.str());
-    ASSERT_EQ(records.size(), 3u);
-    EXPECT_DOUBLE_EQ(records[1].find("eta_ms")->asNumber(), -1.0);
-    EXPECT_GE(records[2].find("eta_ms")->asNumber(), 0.0);
+    ASSERT_EQ(records.size(), 4u);
+    for (std::size_t i = 1; i < records.size(); ++i) {
+        EXPECT_EQ(intField(records[i], "jobs_done"),
+                  static_cast<std::int64_t>(i));
+        EXPECT_GE(records[i].find("eta_ms")->asNumber(), 0.0);
+    }
+    const Json &last = records[3];
+    EXPECT_EQ(intField(last, "retries"), 2);
+    EXPECT_EQ(intField(last, "quarantined_total"), 1);
+    EXPECT_EQ(intField(last, "failures"), 1);
+}
+
+TEST(TelemetrySinkTest, EtaIsUndefinedWithoutACampaignTotal)
+{
+    // A heartbeat with no campaign_start (or past the announced total)
+    // has no remainder to extrapolate to: eta_ms reports -1.
+    std::ostringstream os;
+    TelemetrySink sink(os);
+    JobHeartbeat beat;
+    beat.module = "A0";
+    sink.heartbeat(beat);
+
+    const std::vector<Json> records = parseLines(os.str());
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_DOUBLE_EQ(records[0].find("eta_ms")->asNumber(), -1.0);
+}
+
+TEST(TelemetrySinkTest, ConcurrentHeartbeatsStayMonotone)
+{
+    // Regression for the racy-tally bug: workers hammering the sink
+    // concurrently must never publish jobs_done out of order, because
+    // the tally bump and the write share one critical section.
+    constexpr int kThreads = 8;
+    constexpr int kBeatsPerThread = 25;
+    std::ostringstream os;
+    TelemetrySink sink(os);
+    sink.campaignStart(kThreads * kBeatsPerThread, kThreads, 1);
+
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&sink]() {
+            for (int i = 0; i < kBeatsPerThread; ++i) {
+                JobHeartbeat beat;
+                beat.module = "A0";
+                beat.ok = true;
+                beat.attempts = 1;
+                sink.heartbeat(beat);
+            }
+        });
+    }
+    for (std::thread &worker : pool)
+        worker.join();
+
+    const std::vector<Json> records = parseLines(os.str());
+    ASSERT_EQ(records.size(),
+              static_cast<std::size_t>(kThreads * kBeatsPerThread + 1));
+    for (std::size_t i = 1; i < records.size(); ++i) {
+        EXPECT_EQ(intField(records[i], "seq"),
+                  static_cast<std::int64_t>(i));
+        EXPECT_EQ(intField(records[i], "jobs_done"),
+                  static_cast<std::int64_t>(i));
+    }
 }
 
 TEST(TelemetrySinkTest, CampaignEmitsOneHeartbeatPerJob)
