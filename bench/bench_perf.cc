@@ -11,7 +11,10 @@
  * serial point) and asserting every point's verdicts are bit-identical
  * to jobs=1, the runner's determinism contract. The recorded
  * hardware_concurrency tells a reader how many of those points could
- * actually run in parallel on the measuring host.
+ * actually run in parallel on the measuring host. A journal-overhead
+ * pair then reruns the battery with the fsynced write-ahead journal
+ * armed (DESIGN.md §14) and records the durability tax as
+ * journal_overhead_ratio — the acceptance bar is < 1.05x.
  *
  * The profiler-overhead pairs (BM_HammerLoop vs BM_HammerLoopProfiled,
  * BM_RetentionScan vs BM_RetentionScanProfiled, and the
@@ -28,7 +31,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "attack/sweep.hh"
 #include "common/logging.hh"
@@ -36,6 +41,7 @@
 #include "dram/module.hh"
 #include "obs/profiler.hh"
 #include "obs/report.hh"
+#include "runner/journal.hh"
 #include "runner/reveng_job.hh"
 #include "softmc/host.hh"
 
@@ -316,14 +322,76 @@ campaignSpecs()
     return specs;
 }
 
-/** Wall milliseconds of one battery campaign at the given job count. */
+/**
+ * Per-record durability tax of the write-ahead journal: one
+ * checksummed JSONL append + fsync with a representative job payload
+ * (verdict + metrics snapshot). This is the only per-job cost
+ * journaling adds, so record_cost_us x jobs bounds the campaign-level
+ * overhead independently of host noise.
+ */
+void
+BM_JournalAppend(benchmark::State &state)
+{
+    const char *path = "bench_journal_append.jsonl";
+    CampaignConfig config;
+    config.seed = 1;
+    config.contentTag = "bench:perf:v1";
+    const std::vector<ModuleSpec> specs = campaignSpecs();
+    const CampaignKey key = CampaignKey::compute(config, specs);
+
+    ModuleResult result;
+    result.module = specs.front().name;
+    result.ok = true;
+    result.completed = true;
+    result.attempts = 1;
+    Json verdict = Json::object();
+    verdict["identified"] = Json(true);
+    verdict["version"] = Json(std::string("counter_v1"));
+    verdict["score"] = Json(0.97);
+    result.verdict = std::move(verdict);
+    for (int i = 0; i < 8; ++i)
+        result.metrics.counter(logFmt("bench.metric", i))
+            .inc(static_cast<std::uint64_t>(i) * 17 + 1);
+    for (int i = 0; i < 64; ++i)
+        result.metrics.histogram("bench.lat").add(i * 3);
+
+    JournalWriter writer;
+    if (!writer.open(path, key, config, specs.size(),
+                     /*append_existing=*/false)) {
+        state.SkipWithError("cannot open bench journal");
+        return;
+    }
+    std::uint64_t job = 0;
+    for (auto _ : state) {
+        result.index = job % specs.size();
+        writer.append(key.jobKey(specs[result.index], result.index),
+                      result);
+        ++job;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+    std::remove(path);
+}
+BENCHMARK(BM_JournalAppend);
+
+/**
+ * Wall milliseconds of one battery campaign at the given job count.
+ * A non-empty @p journal_path arms the fsynced write-ahead journal so
+ * the durability tax can be measured against the plain run.
+ */
 double
 campaignWallMs(const std::vector<ModuleSpec> &specs, int jobs,
-               CampaignResult &result_out)
+               CampaignResult &result_out,
+               const std::string &journal_path = std::string())
 {
     CampaignConfig config;
     config.jobs = jobs;
     config.seed = 1;
+    if (!journal_path.empty()) {
+        config.journalPath = journal_path;
+        config.journalFsync = true;
+        config.contentTag = "bench:perf:v1";
+    }
     CampaignRunner runner(config);
     const auto begin = std::chrono::steady_clock::now();
     result_out =
@@ -424,6 +492,58 @@ main(int argc, char **argv)
                     point_identical ? "bit-identical" : "DIVERGENT");
     }
 
+    // Journal-overhead pairs (DESIGN.md §14): the same battery at the
+    // fastest job count, without and with the fsynced write-ahead
+    // journal, interleaved plain/journaled/plain/journaled and scored
+    // on the minimum of each side — wall-clock noise on a shared host
+    // easily exceeds the tax being measured (one small record + fsync
+    // per completed job), and the min of interleaved runs cancels
+    // drift that would swamp a single back-to-back pair.
+    // BM_JournalAppend above pins the per-record cost directly.
+    const char *journal_path = "bench_journal.jsonl";
+    double plain_ms = 0.0;
+    double journaled_ms = 0.0;
+    bool journal_identical = true;
+    for (int rep = 0; rep < 2; ++rep) {
+        CampaignResult plain_result;
+        const double plain =
+            campaignWallMs(specs, best_jobs, plain_result);
+        std::remove(journal_path);
+        CampaignResult journaled_result;
+        const double journaled = campaignWallMs(
+            specs, best_jobs, journaled_result, journal_path);
+        std::remove(journal_path);
+        plain_ms = rep == 0 ? plain : std::min(plain_ms, plain);
+        journaled_ms =
+            rep == 0 ? journaled : std::min(journaled_ms, journaled);
+        journal_identical = journal_identical &&
+            journaled_result.verdicts().dump() ==
+                plain_result.verdicts().dump();
+        all_ok = all_ok && plain_result.allOk() &&
+            journaled_result.allOk();
+        failures +=
+            plain_result.failedJobs + journaled_result.failedJobs;
+        total_ms += plain + journaled;
+    }
+    const double journal_overhead =
+        plain_ms > 0.0 ? journaled_ms / plain_ms : 0.0;
+    identical = identical && journal_identical;
+
+    Json journal_round = Json::object();
+    journal_round["journal_plain_ms"] = Json(plain_ms);
+    journal_round["journal_journaled_ms"] = Json(journaled_ms);
+    journal_round["journal_overhead"] = Json(journal_overhead);
+    journal_round["verdicts_identical"] = Json(journal_identical);
+    report.addRound(std::move(journal_round));
+    registry.gauge("runner.journal.plain_ms").set(plain_ms);
+    registry.gauge("runner.journal.journaled_ms").set(journaled_ms);
+    registry.gauge("runner.journal.overhead").set(journal_overhead);
+    std::printf("journal overhead: min %.0f ms plain, min %.0f ms "
+                "journaled (fsync per record), %.3fx at jobs %d, "
+                "verdicts %s\n",
+                plain_ms, journaled_ms, journal_overhead, best_jobs,
+                journal_identical ? "bit-identical" : "DIVERGENT");
+
     const double best_speedup =
         best_ms > 0.0 ? serial_ms / best_ms : 0.0;
     registry.gauge("runner.serial_ms").set(serial_ms);
@@ -441,6 +561,9 @@ main(int argc, char **argv)
     report.setResult("runner_best_jobs", Json(best_jobs));
     report.setResult("runner_speedup", Json(best_speedup));
     report.setResult("runner_verdicts_identical", Json(identical));
+    report.setResult("journal_plain_ms", Json(plain_ms));
+    report.setResult("journal_journaled_ms", Json(journaled_ms));
+    report.setResult("journal_overhead_ratio", Json(journal_overhead));
     report.setTiming(total_ms, 0);
     report.attachMetrics(registry);
     const bool wrote = report.writeFile("BENCH_perf.json");

@@ -12,8 +12,11 @@
  *   fuzz --module C3 --count 50 --long-waits --corpus-dir /tmp/corpus
  *   fuzz --replay tests/corpus/seed-a0-retention.prog
  *
- * Exit status: 0 when every program is clean, 1 on any oracle
- * violation (this is the CI fuzz-smoke contract), 2 on usage errors.
+ * Exit status (README.md): 0 when every program is clean, 1 on any
+ * oracle violation (this is the CI fuzz-smoke contract), 2 on usage
+ * errors, 3 when a job exhausted its watchdog retry ladder
+ * (quarantined), 4 when interrupted (SIGINT/SIGTERM) — resumable with
+ * --journal FILE --resume.
  */
 
 #include <cstring>
@@ -26,6 +29,7 @@
 #include "check/fuzz_campaign.hh"
 #include "check/oracles.hh"
 #include "dram/module_spec.hh"
+#include "runner/cancellation.hh"
 #include "softmc/assembler.hh"
 #include "trr/trr.hh"
 
@@ -48,6 +52,8 @@ usage()
         "  --max-hammer N       cap hammer burst length\n"
         "  --long-waits         always use long decay windows\n"
         "  --no-minimize        keep findings unminimized\n"
+        "  --journal FILE       crash-safe write-ahead result journal\n"
+        "  --resume             reload finished checks from --journal\n"
         "  --corpus-dir DIR     save minimized repros as DIR/*.prog\n"
         "  --replay FILE        replay one corpus entry instead\n"
         "  --emit DIR           save generated programs as corpus\n"
@@ -132,6 +138,10 @@ main(int argc, char **argv)
             options.fuzz.longWaitChance = 1.0;
         } else if (arg == "--no-minimize") {
             options.minimize = false;
+        } else if (arg == "--journal") {
+            options.journalPath = next();
+        } else if (arg == "--resume") {
+            options.resume = true;
         } else if (arg == "--corpus-dir") {
             corpus_dir = next();
         } else if (arg == "--replay") {
@@ -187,6 +197,16 @@ main(int argc, char **argv)
               << trrVersionName(spec->trr) << "): " << options.count
               << " programs, fuzz seed " << options.fuzzSeed
               << ", silicon seed " << options.oracle.moduleSeed << "\n";
+    if (!options.journalPath.empty()) {
+        std::cout << "write-ahead journal: " << options.journalPath
+                  << (options.resume ? " (resuming)" : "") << "\n";
+    }
+
+    // SIGINT/SIGTERM stop the campaign cooperatively: finished checks
+    // are already journaled, in-flight ones are abandoned and re-run
+    // on --resume.
+    installStopSignalHandlers();
+    options.stopFlag = stopFlagPtr();
 
     const FuzzCampaignResult result = runFuzzCampaign(*spec, options);
 
@@ -200,6 +220,25 @@ main(int argc, char **argv)
               << " reads) checked on " << result.campaign.jobsUsed
               << " worker(s) in " << result.campaign.wallMs << " ms\n";
 
+    if (result.campaign.journaledJobs > 0) {
+        std::cout << result.campaign.journaledJobs
+                  << " check(s) restored from journal, "
+                  << result.campaign.scheduledJobs << " scheduled\n";
+    }
+    if (result.campaign.interrupted) {
+        std::cout << "INTERRUPTED: " << result.campaign.pendingJobs
+                  << " check(s) pending"
+                  << (options.journalPath.empty()
+                          ? "" : "; rerun with --resume to continue")
+                  << "\n";
+        return 4;
+    }
+    if (result.campaign.quarantinedJobs > 0) {
+        std::cout << result.campaign.quarantinedJobs
+                  << " check(s) QUARANTINED (watchdog retry ladder "
+                     "exhausted)\n";
+        return 3;
+    }
     if (result.clean()) {
         std::cout << "all oracles clean\n";
         return 0;

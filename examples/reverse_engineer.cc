@@ -7,6 +7,8 @@
  *                         [--report FILE] [--battery [SEED]]
  *                         [--chaos SEED] [--jobs N] [--profile]
  *                         [--profile-folded FILE] [--telemetry FILE]
+ *                         [--telemetry-fsync] [--journal FILE]
+ *                         [--resume]
  *
  * With --trace, every DDR command of the session is recorded (bounded
  * ring buffer) and written as Chrome trace_event JSON — open the file
@@ -41,6 +43,22 @@
  * metrics snapshot) to FILE — tail it to watch a long sweep live.
  * Validate with scripts/telemetry_check.py.
  *
+ * With --journal FILE, battery/chaos campaigns keep a crash-safe
+ * write-ahead result journal: every finished module lands on disk
+ * (checksummed, fsynced) before it is merged, and --resume reloads the
+ * finished jobs and runs only the missing ones — the merged report is
+ * bit-identical to an uninterrupted run (scripts/report_diff.py).
+ * SIGINT/SIGTERM stop the campaign cooperatively: in-flight jobs are
+ * abandoned at the next command boundary, the partial report is still
+ * written, and the process exits with the resumable status.
+ *
+ * Exit codes (documented in README.md):
+ *   0 — all modules identified correctly
+ *   1 — at least one misidentification or a failed artifact write
+ *   2 — usage error
+ *   3 — at least one job quarantined (watchdog retry ladder exhausted)
+ *   4 — interrupted; resumable via --journal FILE --resume
+ *
  * --jobs N sets the campaign worker count for both battery modes
  * (default: hardware concurrency; 1 preserves the serial path).
  * Results are bit-identical for every N — per-module RNG streams are
@@ -66,6 +84,7 @@
 #include "obs/profiler.hh"
 #include "obs/report.hh"
 #include "obs/telemetry.hh"
+#include "runner/cancellation.hh"
 #include "runner/reveng_job.hh"
 #include "softmc/host.hh"
 
@@ -73,6 +92,28 @@ using namespace utrr;
 
 namespace
 {
+
+/** Exit-code contract (README.md): resumable > quarantined > failed. */
+constexpr int kExitFailed = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitQuarantined = 3;
+constexpr int kExitInterrupted = 4;
+
+/** Bad command line: report and exit with the usage status. */
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::cerr << "error: " << msg << "\n";
+    std::exit(kExitUsage);
+}
+
+/** Durability-related campaign options threaded from the CLI. */
+struct DurabilityOptions
+{
+    std::string journalPath;
+    bool resume = false;
+    bool telemetryFsync = false;
+};
 
 /**
  * Finish a --profile run: print the exclusive-time ranking table and,
@@ -105,7 +146,8 @@ int
 runBatteryCampaign(bool chaos, std::uint64_t seed, int jobs,
                    const std::string &report_path, bool profile,
                    const std::string &profile_folded_path,
-                   const std::string &telemetry_path)
+                   const std::string &telemetry_path,
+                   const DurabilityOptions &durability)
 {
     CampaignConfig campaign;
     campaign.jobs = jobs;
@@ -113,15 +155,30 @@ runBatteryCampaign(bool chaos, std::uint64_t seed, int jobs,
     campaign.maxWatchdogRetries = 2;
     if (chaos)
         campaign.faults = FaultConfig::chaosDefaults();
+    campaign.journalPath = durability.journalPath;
+    campaign.resume = durability.resume;
+    // The tag keys the journal to the job body: a battery journal can
+    // never resume a chaos campaign (or vice versa).
+    campaign.contentTag =
+        chaos ? "identify:chaos:v1" : "identify:battery:v1";
+    // Cooperative cancellation costs one branch per command; wire it
+    // unconditionally so plain batteries are also stoppable.
+    installStopSignalHandlers();
+    campaign.stopFlag = stopFlagPtr();
 
     std::unique_ptr<TelemetrySink> telemetry;
     if (!telemetry_path.empty()) {
-        telemetry = std::make_unique<TelemetrySink>(telemetry_path);
+        telemetry = std::make_unique<TelemetrySink>(
+            telemetry_path, durability.telemetryFsync);
         if (!telemetry->good())
             return 1;
         campaign.telemetry = telemetry.get();
         std::cout << "Streaming campaign telemetry to " << telemetry_path
                   << "\n";
+    }
+    if (!durability.journalPath.empty()) {
+        std::cout << "Write-ahead journal: " << durability.journalPath
+                  << (durability.resume ? " (resuming)" : "") << "\n";
     }
     const IdentifyJobConfig job_cfg =
         chaos ? IdentifyJobConfig::chaos() : IdentifyJobConfig::battery();
@@ -146,6 +203,11 @@ runBatteryCampaign(bool chaos, std::uint64_t seed, int jobs,
               << "Verdict\n";
     std::uint64_t total_fresh_retries = 0;
     for (const ModuleResult &m : result.modules) {
+        if (!m.completed) {
+            std::cout << std::left << std::setw(8) << m.module
+                      << "(pending — interrupted before completion)\n";
+            continue;
+        }
         const Json &v = m.verdict;
         auto field = [&v](const char *key) {
             const Json *found = v.find(key);
@@ -194,17 +256,51 @@ runBatteryCampaign(bool chaos, std::uint64_t seed, int jobs,
               << " ms wall, " << result.watchdogRetries
               << " watchdog retries, " << result.quarantinedJobs
               << " quarantined\n";
-    std::cout << (result.allOk()
-                      ? "All 45 modules identified correctly.\n"
-                      : logFmt(result.failedJobs,
-                               " module(s) MISIDENTIFIED.\n"));
+    if (result.journaledJobs > 0) {
+        std::cout << "Resumed from journal: " << result.journaledJobs
+                  << " job(s) restored, " << result.scheduledJobs
+                  << " scheduled";
+        if (result.journalCorruptRecords > 0 || result.journalTornTail) {
+            std::cout << " (" << result.journalCorruptRecords
+                      << " corrupt record(s) skipped"
+                      << (result.journalTornTail ? ", torn tail dropped"
+                                                 : "")
+                      << ")";
+        }
+        std::cout << "\n";
+    }
+    if (result.interrupted) {
+        std::cout << "INTERRUPTED: " << result.pendingJobs
+                  << " job(s) still pending"
+                  << (durability.journalPath.empty()
+                          ? " (run with --journal to make such runs "
+                            "resumable)"
+                          : "; rerun with --resume to continue")
+                  << "\n";
+    } else {
+        std::cout << (result.allOk()
+                          ? "All 45 modules identified correctly.\n"
+                          : logFmt(result.failedJobs,
+                                   " module(s) MISIDENTIFIED.\n"));
+    }
 
-    int exit_code = result.allOk() ? 0 : 1;
+    // Precedence: resumable interruption > quarantine > failure, so
+    // orchestration can always tell "try --resume" apart from "a
+    // module's watchdog ladder is exhausted" and plain mismatches.
+    int exit_code = 0;
+    if (!result.allOk())
+        exit_code = kExitFailed;
+    if (result.quarantinedJobs > 0)
+        exit_code = kExitQuarantined;
+    if (result.interrupted)
+        exit_code = kExitInterrupted;
     ProfileTree profile_tree;
     if (profile) {
         profile_tree = Profiler::instance().collect();
-        if (!emitProfile(profile_tree, profile_folded_path))
-            exit_code = 1;
+        if (!emitProfile(profile_tree, profile_folded_path) &&
+            exit_code == 0) {
+            exit_code = kExitFailed;
+        }
     }
 
     if (!report_path.empty()) {
@@ -231,8 +327,11 @@ runBatteryCampaign(bool chaos, std::uint64_t seed, int jobs,
         result.fillReport(report);
         if (profile && !profile_tree.empty())
             report.attachProfile(profile_tree);
+        // An interrupted campaign still writes its (partial, clearly
+        // marked) report — the journal plus this artifact are what a
+        // resume needs to pick up cleanly.
         if (!report.writeFile(report_path))
-            return 1;
+            return exit_code == 0 ? kExitFailed : exit_code;
         std::cout << "Wrote campaign report to " << report_path << "\n";
     }
     return exit_code;
@@ -255,6 +354,7 @@ main(int argc, char **argv)
     std::string report_path;
     std::string profile_folded_path;
     std::string telemetry_path;
+    DurabilityOptions durability;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--fast") == 0) {
             fast = true;
@@ -262,38 +362,46 @@ main(int argc, char **argv)
             profile_enabled = true;
         } else if (std::strcmp(argv[i], "--profile-folded") == 0) {
             if (i + 1 >= argc)
-                fatal("--profile-folded needs a file argument");
+                usageError("--profile-folded needs a file argument");
             profile_enabled = true;
             profile_folded_path = argv[++i];
         } else if (std::strcmp(argv[i], "--telemetry") == 0) {
             if (i + 1 >= argc)
-                fatal("--telemetry needs a file argument");
+                usageError("--telemetry needs a file argument");
             telemetry_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--telemetry-fsync") == 0) {
+            durability.telemetryFsync = true;
+        } else if (std::strcmp(argv[i], "--journal") == 0) {
+            if (i + 1 >= argc)
+                usageError("--journal needs a file argument");
+            durability.journalPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            durability.resume = true;
         } else if (std::strcmp(argv[i], "--trace") == 0) {
             if (i + 1 >= argc)
-                fatal("--trace needs a file argument");
+                usageError("--trace needs a file argument");
             trace_path = argv[++i];
         } else if (std::strcmp(argv[i], "--report") == 0) {
             if (i + 1 >= argc)
-                fatal("--report needs a file argument");
+                usageError("--report needs a file argument");
             report_path = argv[++i];
         } else if (std::strcmp(argv[i], "--battery") == 0) {
             battery = true;
         } else if (std::strcmp(argv[i], "--chaos") == 0) {
             if (i + 1 >= argc)
-                fatal("--chaos needs a seed argument");
+                usageError("--chaos needs a seed argument");
             chaos = true;
             campaign_seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--seed") == 0) {
             if (i + 1 >= argc)
-                fatal("--seed needs a value");
+                usageError("--seed needs a value");
             campaign_seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--jobs") == 0) {
             if (i + 1 >= argc)
-                fatal("--jobs needs a worker count");
+                usageError("--jobs needs a worker count");
             jobs = std::atoi(argv[++i]);
             if (jobs < 1)
-                fatal("--jobs needs a positive worker count");
+                usageError("--jobs needs a positive worker count");
         } else {
             name = argv[i];
         }
@@ -305,14 +413,18 @@ main(int argc, char **argv)
     if (battery || chaos)
         return runBatteryCampaign(chaos, campaign_seed, jobs,
                                   report_path, profile_enabled,
-                                  profile_folded_path, telemetry_path);
+                                  profile_folded_path, telemetry_path,
+                                  durability);
     if (!telemetry_path.empty())
         warn("--telemetry only streams during --battery/--chaos "
              "campaigns; ignoring it for a single-module session");
+    if (!durability.journalPath.empty() || durability.resume)
+        warn("--journal/--resume apply to --battery/--chaos campaigns; "
+             "ignoring them for a single-module session");
 
     const auto spec_opt = findModuleSpec(name);
     if (!spec_opt)
-        fatal("unknown module " + name + " (try A0..A14, B0..B14, "
+        usageError("unknown module " + name + " (try A0..A14, B0..B14, "
               "C0..C14)");
     const ModuleSpec spec = *spec_opt;
     DramModule module(spec, 2021);

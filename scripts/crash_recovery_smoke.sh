@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke (DESIGN.md §14, EXPERIMENTS.md): SIGKILL a
+# journaled 45-module battery partway through — mid-journal-record, the
+# torn write a power cut produces — then resume it and require the
+# resumed report to be byte-identical (deterministic projection) to an
+# uninterrupted run.
+#
+# Usage: scripts/crash_recovery_smoke.sh [BINARY] [JOBS] [WORKDIR]
+#   BINARY   reverse_engineer binary (default ./build/examples/reverse_engineer)
+#   JOBS     campaign worker count   (default 4)
+#   WORKDIR  artifact directory      (default ./crash_recovery_smoke)
+#
+# Exit status: 0 on success; 1 on any contract violation. On failure
+# the journal and reports stay in WORKDIR for inspection (CI uploads
+# them as artifacts).
+
+set -u
+
+BIN=${1:-./build/examples/reverse_engineer}
+JOBS=${2:-4}
+WORKDIR=${3:-./crash_recovery_smoke}
+SCRIPTS_DIR=$(cd "$(dirname "$0")" && pwd)
+
+# Die at journal record 23 (header is record 0, so ~22 of 45 modules
+# are safely journaled) after 40 bytes of the record — a torn line the
+# reader must drop.
+CRASH_SPEC=${UTRR_SMOKE_CRASH_SPEC:-23:40}
+
+fail() {
+    echo "crash_recovery_smoke: FAIL: $*" >&2
+    exit 1
+}
+
+[ -x "$BIN" ] || fail "binary not found or not executable: $BIN"
+mkdir -p "$WORKDIR" || fail "cannot create $WORKDIR"
+
+REF="$WORKDIR/reference_report.json"
+RESUMED="$WORKDIR/resumed_report.json"
+JOURNAL="$WORKDIR/journal.jsonl"
+rm -f "$REF" "$RESUMED" "$JOURNAL" "$JOURNAL.stale"
+
+echo "== clean reference battery (--jobs $JOBS)"
+"$BIN" --battery --jobs "$JOBS" --report "$REF" \
+    || fail "clean battery run failed"
+
+echo "== journaled battery, SIGKILL at journal record $CRASH_SPEC"
+UTRR_JOURNAL_CRASH="$CRASH_SPEC" \
+    "$BIN" --battery --jobs "$JOBS" --journal "$JOURNAL" \
+    > "$WORKDIR/crashed_run.log" 2>&1
+status=$?
+# 128 + SIGKILL(9) = 137: anything else means the crash never fired
+# (a vacuously green smoke) or the process died some other way.
+[ "$status" -eq 137 ] \
+    || fail "expected SIGKILL exit 137, got $status (crash hook inert?)"
+[ -s "$JOURNAL" ] || fail "no journal survived the crash"
+
+echo "== resume from the survivor journal"
+"$BIN" --battery --jobs "$JOBS" --journal "$JOURNAL" --resume \
+    --report "$RESUMED"
+status=$?
+[ "$status" -eq 0 ] || fail "resumed battery exited $status"
+grep -q "resumed from journal" "$WORKDIR/resumed_run.log" 2>/dev/null \
+    || true # log line is informational; the report diff is the check
+
+echo "== compare deterministic projections"
+python3 "$SCRIPTS_DIR/report_diff.py" "$REF" "$RESUMED" \
+    || fail "resumed report diverges from the uninterrupted run"
+
+echo "crash_recovery_smoke: PASS"

@@ -9,12 +9,18 @@ Validates a JSONL telemetry file produced by ``reverse_engineer
   * ``seq`` starts at 0 and increases by exactly 1 per record;
   * the first record is ``campaign_start`` carrying ``schema`` == 1,
     ``jobs_total``, ``workers`` and ``seed``;
+  * a resumed campaign (``--journal FILE --resume``) emits exactly one
+    ``campaign_resume`` directly after ``campaign_start`` with
+    ``schema``, ``journaled``, ``scheduled`` and ``jobs_total``;
+    journaled jobs produce no heartbeat of their own, so the final
+    ``jobs_done`` must equal heartbeats + ``journaled``;
   * every ``heartbeat`` carries the per-job fields (module, job_index,
     ok, attempts, quarantined), the running campaign totals (jobs_done,
     jobs_total, retries, quarantined_total, failures), an ``eta_ms``
     number (-1.0 when undefined) and a ``metrics`` object mapping
     counter names to non-negative integers;
-  * ``jobs_done`` never decreases and ends at the number of heartbeats;
+  * ``jobs_done`` never decreases and ends at the number of heartbeats
+    (plus ``journaled`` after a resume);
   * the last record is ``campaign_end`` with failure/retry totals and
     the final ``ok`` verdict.
 
@@ -126,6 +132,7 @@ def check_telemetry(path):
 
     heartbeats = 0
     jobs_done = 0
+    journaled = 0
     for idx, (line_no, record) in enumerate(records):
         if not check_envelope(record, line_no, idx, errors):
             continue
@@ -146,6 +153,27 @@ def check_telemetry(path):
             heartbeats += 1
             jobs_done = check_heartbeat(record, line_no, jobs_done,
                                         errors)
+        elif kind == "campaign_resume":
+            if idx != 1:
+                fail(errors, line_no, "campaign_resume must directly "
+                     "follow campaign_start")
+            elif record.get("schema") != SCHEMA_VERSION:
+                fail(errors, line_no, "campaign_resume schema "
+                     f"{record.get('schema')!r} != {SCHEMA_VERSION}")
+            elif not all(isinstance(record.get(k), int)
+                         and not isinstance(record.get(k), bool)
+                         for k in ("journaled", "scheduled",
+                                   "jobs_total")):
+                fail(errors, line_no, "campaign_resume missing "
+                     "journaled/scheduled/jobs_total")
+            elif (record["journaled"] + record["scheduled"]
+                  != record["jobs_total"]):
+                fail(errors, line_no, "campaign_resume journaled + "
+                     "scheduled != jobs_total")
+            else:
+                # Journaled jobs emit no heartbeat; they seed the tally.
+                journaled = record["journaled"]
+                jobs_done = journaled
         elif kind == "campaign_end":
             if idx != len(records) - 1:
                 fail(errors, line_no, "campaign_end is not last")
@@ -162,11 +190,12 @@ def check_telemetry(path):
     last = records[-1][1]
     if last.get("type") != "campaign_end":
         fail(errors, records[-1][0], "file does not end in campaign_end")
-    elif heartbeats and jobs_done != heartbeats:
+    elif (heartbeats or journaled) \
+            and jobs_done != heartbeats + journaled:
         fail(errors, records[-1][0], f"final jobs_done {jobs_done} != "
-             f"{heartbeats} heartbeats")
+             f"{heartbeats} heartbeats + {journaled} journaled")
     print(f"telemetry_check: {path}: {len(records)} records, "
-          f"{heartbeats} heartbeats")
+          f"{heartbeats} heartbeats, {journaled} journaled")
     return errors
 
 

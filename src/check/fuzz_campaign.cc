@@ -1,9 +1,36 @@
 #include "check/fuzz_campaign.hh"
 
 #include "check/minimizer.hh"
+#include "common/logging.hh"
 
 namespace utrr
 {
+
+namespace
+{
+
+/**
+ * Journal identity of the fuzz job body: every knob that changes what
+ * job i computes for the same (seed, index). Folded into the campaign
+ * content hash so a journal written under different fuzz or oracle
+ * settings can never be resumed into this campaign.
+ */
+std::string
+fuzzContentTag(const FuzzCampaignOptions &options)
+{
+    const FuzzConfig &f = options.fuzz;
+    const OracleConfig &o = options.oracle;
+    return logFmt(
+        "fuzz:v1:", f.setupRows, ':', f.minOps, ':', f.maxOps, ':',
+        f.maxBanks, ':', f.rowSpan, ':', f.hammerMin, ':', f.hammerMax,
+        ':', f.refBurstMax, ':', f.waitMaxNs, ':', f.waitRefMaxNs, ':',
+        f.longWaitChance, ':', f.longWaitRefNs, ':', f.maxEpilogueReads,
+        ":oracle:", o.checkTiming, o.checkAccounting, o.checkDeterminism,
+        ':', o.traceMargin, ':', o.maxViolationsPerOracle, ':',
+        o.retention != nullptr ? "ret-override" : "ret-default");
+}
+
+} // namespace
 
 FuzzCampaignResult
 runFuzzCampaign(const ModuleSpec &spec,
@@ -18,6 +45,10 @@ runFuzzCampaign(const ModuleSpec &spec,
     campaign_cfg.jobs = options.jobs;
     campaign_cfg.seed = options.fuzzSeed;
     campaign_cfg.moduleSeed = options.oracle.moduleSeed;
+    campaign_cfg.journalPath = options.journalPath;
+    campaign_cfg.resume = options.resume;
+    campaign_cfg.contentTag = fuzzContentTag(options);
+    campaign_cfg.stopFlag = options.stopFlag;
     // Jobs never execute on the runner-provided module/host pair: the
     // oracle suite constructs its own fresh pairs (two of them, for the
     // determinism check). Tracing on the runner side stays off.
@@ -69,7 +100,9 @@ runFuzzCampaign(const ModuleSpec &spec,
     // function of (fuzzSeed, index), so this is exact, regardless of how
     // the parallel phase was scheduled.
     for (const ModuleResult &module_result : result.campaign.modules) {
-        if (module_result.ok)
+        // Pending slots (stop-interrupted / never scheduled) carry no
+        // verdict at all — they are resumable, not violating.
+        if (!module_result.completed || module_result.ok)
             continue;
         ++result.violating;
         if (result.findings.size() >= options.maxFindings)

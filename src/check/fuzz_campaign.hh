@@ -49,6 +49,19 @@ struct FuzzCampaignOptions
 
     /** Findings minimized/reported in detail (the rest are counted). */
     std::size_t maxFindings = 16;
+
+    /**
+     * Write-ahead result journal (empty = off): each checked program
+     * is persisted before it counts, and `resume` reloads finished
+     * checks so only the missing indices re-run. The journal is keyed
+     * to the full fuzz configuration — changing any generation or
+     * oracle knob orphans old records (CampaignConfig::contentTag).
+     */
+    std::string journalPath;
+    bool resume = false;
+
+    /** Cooperative-stop flag forwarded to the campaign (may be null). */
+    const std::atomic<bool> *stopFlag = nullptr;
 };
 
 /** One violating program. */

@@ -1,5 +1,7 @@
 #include "obs/metrics.hh"
 
+#include <cstdlib>
+
 namespace utrr
 {
 
@@ -83,6 +85,48 @@ MetricsRegistry::toJson() const
         histograms[name] = std::move(bins);
     }
     return root;
+}
+
+bool
+MetricsRegistry::fromJson(const Json &snapshot, MetricsRegistry &out)
+{
+    out.clear();
+    if (snapshot.type() != Json::Type::kObject)
+        return false;
+    if (const Json *counters = snapshot.find("counters")) {
+        for (const auto &[name, value] : counters->members()) {
+            if (value.type() != Json::Type::kNumber)
+                return false;
+            out.counter(name).value =
+                static_cast<std::uint64_t>(value.asInt());
+        }
+    }
+    if (const Json *gauges = snapshot.find("gauges")) {
+        for (const auto &[name, value] : gauges->members()) {
+            if (value.type() != Json::Type::kNumber)
+                return false;
+            out.gauge(name).value = value.asNumber();
+        }
+    }
+    if (const Json *histograms = snapshot.find("histograms")) {
+        for (const auto &[name, bins] : histograms->members()) {
+            if (bins.type() != Json::Type::kObject)
+                return false;
+            Histogram &h = out.histogram(name);
+            for (const auto &[bin, count] : bins.members()) {
+                if (count.type() != Json::Type::kNumber)
+                    return false;
+                char *end = nullptr;
+                const long long value =
+                    std::strtoll(bin.c_str(), &end, 10);
+                if (end != bin.c_str() + bin.size())
+                    return false;
+                h.add(static_cast<std::int64_t>(value),
+                      static_cast<std::uint64_t>(count.asInt()));
+            }
+        }
+    }
+    return true;
 }
 
 std::uint64_t

@@ -100,6 +100,16 @@ class MetricsRegistry
      */
     Json toJson() const;
 
+    /**
+     * Rebuild a registry from a toJson() snapshot. The inverse is
+     * exact — counters and histogram bins are integers, gauges are
+     * doubles printed with round-trip precision — so a registry that
+     * goes through the result journal merges bit-identically to one
+     * that never left memory. Returns false on a malformed snapshot
+     * (@p out is left cleared).
+     */
+    static bool fromJson(const Json &snapshot, MetricsRegistry &out);
+
   private:
     std::map<std::string, Counter> counterMap;
     std::map<std::string, Gauge> gaugeMap;

@@ -74,6 +74,64 @@ ExperimentReport::attachProfile(const ProfileTree &profile)
     root["profile"] = std::move(section);
 }
 
+namespace
+{
+
+/** Keys whose values depend on the host's wall clock or scheduling. */
+bool
+wallClockKey(const std::string &key)
+{
+    // "<name>.us" is the ScopedTimer convention (obs/timer.hh): a
+    // histogram of wall-clock microseconds. The paired ".calls"
+    // counters are deterministic and stay.
+    if (key.size() > 3 && key.compare(key.size() - 3, 3, ".us") == 0)
+        return true;
+    return key == "wall_ms" || key == "job_wall_ms" ||
+        key == "eta_ms" || key == "campaign_wall_ms" ||
+        key == "campaign.wall_ms";
+}
+
+Json
+stripWallClock(const Json &value)
+{
+    switch (value.type()) {
+      case Json::Type::kObject: {
+        Json out = Json::object();
+        for (const auto &[key, member] : value.members()) {
+            if (wallClockKey(key))
+                continue;
+            out[key] = stripWallClock(member);
+        }
+        return out;
+      }
+      case Json::Type::kArray: {
+        Json out = Json::array();
+        for (std::size_t i = 0; i < value.size(); ++i)
+            out.push(stripWallClock(value.at(i)));
+        return out;
+      }
+      default:
+        return value;
+    }
+}
+
+} // namespace
+
+Json
+deterministicProjection(const Json &report)
+{
+    if (report.type() != Json::Type::kObject)
+        return stripWallClock(report);
+    Json out = Json::object();
+    for (const auto &[key, member] : report.members()) {
+        // The profile section is wall time through and through.
+        if (key == "profile" || wallClockKey(key))
+            continue;
+        out[key] = stripWallClock(member);
+    }
+    return out;
+}
+
 bool
 ExperimentReport::writeFile(const std::string &path) const
 {

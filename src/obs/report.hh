@@ -83,6 +83,18 @@ class ExperimentReport
     Json root;
 };
 
+/**
+ * The deterministic projection of a report: a deep copy with every
+ * wall-clock-dependent key removed — timing.wall_ms, per-round
+ * wall_ms, the "campaign.wall_ms" gauge, every "<name>.us"
+ * ScopedTimer histogram (obs/timer.hh), and the whole profile
+ * section (span wall times). What remains is a pure function of the
+ * campaign inputs, so an interrupted-then-resumed campaign must
+ * reproduce it byte-for-byte (DESIGN.md §14); the crash-recovery
+ * tests and scripts/report_diff.py compare dump()s of this value.
+ */
+Json deterministicProjection(const Json &report);
+
 } // namespace utrr
 
 #endif // UTRR_OBS_REPORT_HH

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "common/durable_file.hh"
 #include "common/logging.hh"
 
 namespace utrr
 {
 
-TelemetrySink::TelemetrySink(const std::string &path)
+TelemetrySink::TelemetrySink(const std::string &path,
+                             bool fsync_each_record)
     : owned(std::make_unique<std::ofstream>(path,
                                             std::ios::out |
                                                 std::ios::trunc)),
@@ -15,6 +17,8 @@ TelemetrySink::TelemetrySink(const std::string &path)
 {
     if (!owned->good())
         warn(logFmt("telemetry: cannot open ", path, " for writing"));
+    else if (fsync_each_record)
+        fsyncTarget = path;
 }
 
 TelemetrySink::TelemetrySink(std::ostream &os)
@@ -57,6 +61,11 @@ TelemetrySink::emit(const char *type, Json record)
     ++seq;
     *out << line.dump() << '\n';
     out->flush();
+    // A flush reaches the OS; the fsync (a second fd on the same file
+    // — fsync durability is per-file, not per-descriptor) reaches the
+    // disk, matching the result journal's crash guarantee.
+    if (!fsyncTarget.empty())
+        fsyncPath(fsyncTarget);
 }
 
 void
@@ -76,6 +85,23 @@ TelemetrySink::campaignStart(std::uint64_t jobs_total, int workers,
     record["workers"] = workers;
     record["seed"] = seed;
     emit("campaign_start", std::move(record));
+}
+
+void
+TelemetrySink::campaignResume(std::uint64_t journaled,
+                              std::uint64_t scheduled)
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    // Journaled jobs emit no heartbeat of their own; seeding the tally
+    // here keeps jobs_done monotone and lets it still reach jobs_total
+    // by campaign_end.
+    jobsDone = journaled;
+    Json record = Json::object();
+    record["schema"] = kTelemetrySchemaVersion;
+    record["journaled"] = journaled;
+    record["scheduled"] = scheduled;
+    record["jobs_total"] = totalJobs;
+    emit("campaign_resume", std::move(record));
 }
 
 void

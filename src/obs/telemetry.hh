@@ -79,8 +79,15 @@ inline constexpr int kTelemetrySchemaVersion = 1;
 class TelemetrySink
 {
   public:
-    /** Open (truncate) @p path; good() reports whether that worked. */
-    explicit TelemetrySink(const std::string &path);
+    /**
+     * Open (truncate) @p path; good() reports whether that worked.
+     * With @p fsync_each_record, every emitted line is additionally
+     * fsynced, so telemetry survives a crash as completely as the
+     * result journal does (at a per-record I/O cost — reserve it for
+     * durable campaigns).
+     */
+    explicit TelemetrySink(const std::string &path,
+                           bool fsync_each_record = false);
 
     /** Write into a caller-owned stream (kept alive by the caller). */
     explicit TelemetrySink(std::ostream &os);
@@ -96,6 +103,16 @@ class TelemetrySink
      */
     void campaignStart(std::uint64_t jobs_total, int workers,
                        std::uint64_t seed);
+
+    /**
+     * Emit the campaign_resume record (right after campaign_start, by
+     * a campaign resuming from a write-ahead journal): how many jobs
+     * were restored from the journal versus scheduled to run. Seeds
+     * the jobs_done tally with the journaled count so heartbeat
+     * jobs_done keeps counting toward jobs_total.
+     */
+    void campaignResume(std::uint64_t journaled,
+                        std::uint64_t scheduled);
 
     /**
      * Emit one heartbeat record (safe from any worker thread). Counts
@@ -121,6 +138,8 @@ class TelemetrySink
     mutable std::mutex mutex;
     std::unique_ptr<std::ofstream> owned;
     std::ostream *out = nullptr;
+    /** Non-empty => fsync this path after every emitted record. */
+    std::string fsyncTarget;
     std::uint64_t seq = 0;
     std::uint64_t totalJobs = 0;
     /** Running campaign tallies, guarded by `mutex` like the stream. */

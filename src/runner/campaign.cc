@@ -1,5 +1,6 @@
 #include "runner/campaign.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <optional>
@@ -7,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "obs/profiler.hh"
+#include "runner/journal.hh"
 
 namespace utrr
 {
@@ -55,15 +57,20 @@ CampaignRunner::hardwareConcurrency()
 
 ModuleResult
 CampaignRunner::runJob(const ModuleSpec &spec, std::uint64_t index,
-                       const JobFn &fn) const
+                       const JobFn &fn, int attempt_base) const
 {
     ModuleResult result;
     result.module = spec.name;
     result.index = index;
+    result.attempts = attempt_base;
     const auto wall_begin = std::chrono::steady_clock::now();
 
     const int max_attempts = 1 + std::max(0, cfg.maxWatchdogRetries);
-    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    for (int local = 0; local < max_attempts; ++local) {
+        // The effective attempt continues a prior run's ladder when
+        // this is the resume of a quarantined job (attempt_base > 0),
+        // so every salt below draws a stream the failed run never saw.
+        const int attempt = attempt_base + local;
         ++result.attempts;
 
         // A fresh substrate per attempt: a job that died mid-experiment
@@ -73,6 +80,7 @@ CampaignRunner::runJob(const ModuleSpec &spec, std::uint64_t index,
         SoftMcHost host(module);
         MetricsRegistry metrics;
         host.attachMetrics(&metrics);
+        host.attachStopFlag(cfg.stopFlag);
         if (cfg.traceCapacity > 0)
             host.trace().enable(cfg.traceCapacity);
 
@@ -127,19 +135,32 @@ CampaignRunner::runJob(const ModuleSpec &spec, std::uint64_t index,
             result.ok = outcome.ok;
             result.verdict = std::move(outcome.verdict);
             result.error.clear();
+            result.completed = true;
+            capture();
+            break;
+        } catch (const StopRequested &e) {
+            // Cooperative stop: the job is abandoned mid-flight, not
+            // failed — it stays pending (completed = false) and will
+            // be re-run from scratch on resume.
+            result.ok = false;
+            result.completed = false;
+            result.error = e.what();
             capture();
             break;
         } catch (const WatchdogTimeout &e) {
             result.ok = false;
             result.error = e.what();
             capture();
-            if (attempt + 1 == max_attempts)
+            if (local + 1 == max_attempts) {
                 result.quarantined = true;
+                result.completed = true;
+            }
         } catch (const std::exception &e) {
             // Non-watchdog failures are not retried: they indicate a
             // bug or bad configuration, not a sick-substrate run.
             result.ok = false;
             result.error = e.what();
+            result.completed = true;
             capture();
             break;
         }
@@ -155,17 +176,101 @@ CampaignRunner::run(const std::vector<ModuleSpec> &specs,
 {
     CampaignResult out;
     out.modules.resize(specs.size());
+    const std::uint64_t jobs_total = specs.size();
 
+    // jobsUsed is derived from the *campaign* size, not from how many
+    // jobs remain after a resume — the value lands in the report and
+    // a resumed run must reproduce the uninterrupted run's bytes.
     const int want = cfg.jobs <= 0 ? hardwareConcurrency() : cfg.jobs;
     const int workers = static_cast<int>(std::min<std::size_t>(
         static_cast<std::size_t>(std::max(want, 1)),
         std::max<std::size_t>(specs.size(), 1)));
     out.jobsUsed = workers;
 
+    // --- write-ahead journal / resume (DESIGN.md §14) ----------------
+    JournalWriter journal;
+    CampaignKey key;
+    std::vector<int> attempt_base(specs.size(), 0);
+    bool resumed_existing = false;
+    if (!cfg.journalPath.empty()) {
+        key = CampaignKey::compute(cfg, specs);
+        if (cfg.resume) {
+            JournalLoad load = loadJournal(cfg.journalPath);
+            if (load.fileFound && load.headerValid &&
+                load.headerCampaign == key.value()) {
+                resumed_existing = true;
+                out.journalCorruptRecords = load.corruptRecords;
+                out.journalTornTail = load.tornTail;
+                for (JournalJobRecord &rec : load.jobs) {
+                    // Re-key every record against *this* campaign; a
+                    // stale or foreign record can never splice in.
+                    const std::uint64_t i = rec.result.index;
+                    if (i >= specs.size() ||
+                        specs[i].name != rec.result.module ||
+                        rec.key != key.jobKey(specs[i], i)) {
+                        ++out.journalForeignRecords;
+                        continue;
+                    }
+                    if (rec.result.ok) {
+                        // Last occurrence wins (a crash can race a
+                        // rewrite of the same job on a prior resume).
+                        out.modules[i] = std::move(rec.result);
+                        attempt_base[i] = 0;
+                    } else if (rec.result.quarantined) {
+                        // Re-attempt with the ladder continued past
+                        // the recorded attempts: fresh salts, not a
+                        // replay of the recorded failure.
+                        attempt_base[i] = rec.result.attempts;
+                    }
+                    // A plain (non-quarantined) failure re-runs from
+                    // scratch: it is deterministic, so the re-run
+                    // reproduces the uninterrupted run's bytes.
+                }
+            } else if (load.fileFound) {
+                // Valid-looking file for some *other* campaign (or no
+                // readable header): rotate it aside rather than
+                // overwrite — it may be another run's progress.
+                out.journalForeignRecords += load.jobs.size();
+                const std::string stale = cfg.journalPath + ".stale";
+                if (renameFile(cfg.journalPath, stale)) {
+                    warn(logFmt("journal ", cfg.journalPath,
+                                " belongs to a different campaign; "
+                                "rotated to ",
+                                stale));
+                } else {
+                    warn(logFmt("journal ", cfg.journalPath,
+                                " is foreign and could not be "
+                                "rotated; overwriting"));
+                }
+            }
+        }
+        // Arm the crash hook *before* open(): the header is journal
+        // record 0, and the recovery harness must be able to tear it
+        // too.
+        const std::optional<JournalWriteFault> write_fault =
+            cfg.journalFault ? cfg.journalFault
+                             : JournalWriteFault::fromEnv();
+        if (write_fault)
+            journal.setWriteFault(write_fault);
+        if (!journal.open(cfg.journalPath, key, cfg, jobs_total,
+                          resumed_existing)) {
+            warn(logFmt("cannot open journal ", cfg.journalPath,
+                        "; campaign continues without durability"));
+        }
+    }
+
+    std::vector<std::size_t> pending_idx;
+    pending_idx.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!out.modules[i].completed)
+            pending_idx.push_back(i);
+    }
+    out.journaledJobs = jobs_total - pending_idx.size();
+    out.scheduledJobs = pending_idx.size();
+
     // Workers report only per-job facts; the sink owns the running
     // campaign tallies and bumps them under its write mutex, so
     // jobs_done stays monotone in stream order under contention.
-    const std::uint64_t jobs_total = specs.size();
     auto emitHeartbeat = [&](const ModuleResult &m) {
         if (cfg.telemetry == nullptr)
             return;
@@ -180,33 +285,61 @@ CampaignRunner::run(const std::vector<ModuleSpec> &specs,
         beat.metrics = &m.metrics;
         cfg.telemetry->heartbeat(beat);
     };
-    if (cfg.telemetry != nullptr)
+    if (cfg.telemetry != nullptr) {
         cfg.telemetry->campaignStart(jobs_total, workers, cfg.seed);
+        if (resumed_existing) {
+            cfg.telemetry->campaignResume(out.journaledJobs,
+                                          out.scheduledJobs);
+        }
+    }
+
+    const auto stopSeen = [this]() {
+        return cfg.stopFlag != nullptr &&
+            cfg.stopFlag->load(std::memory_order_relaxed);
+    };
+
+    // Write-ahead ordering: the journal record is on disk before the
+    // result is published to the merge set or telemetry — a crash
+    // after either publish can therefore never lose an unjournaled
+    // result.
+    const auto processJob = [&](std::size_t i) {
+        ModuleResult r = runJob(specs[i], i, fn, attempt_base[i]);
+        if (r.completed && journal.isOpen())
+            journal.append(key.jobKey(specs[i], i), r);
+        out.modules[i] = std::move(r);
+        if (out.modules[i].completed)
+            emitHeartbeat(out.modules[i]);
+    };
 
     const auto wall_begin = std::chrono::steady_clock::now();
-    if (workers <= 1) {
+    const int spawn = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(workers), pending_idx.size()));
+    if (spawn <= 1) {
         // The historical serial path: no threads, campaign order.
-        for (std::size_t i = 0; i < specs.size(); ++i) {
-            out.modules[i] = runJob(specs[i], i, fn);
-            emitHeartbeat(out.modules[i]);
+        for (const std::size_t i : pending_idx) {
+            if (stopSeen())
+                break;
+            processJob(i);
         }
     } else {
-        // Work queue: an atomic cursor over the spec vector. Each
-        // worker writes only its own results slot, so the pool needs
-        // no locking; the joins below order every write before the
-        // single-threaded aggregation.
+        // Work queue: an atomic cursor over the pending-index vector.
+        // Each worker writes only its own results slot, so the pool
+        // needs no locking beyond the journal's internal mutex; the
+        // joins below order every write before the single-threaded
+        // aggregation.
         std::atomic<std::size_t> next{0};
         std::vector<std::thread> pool;
-        pool.reserve(static_cast<std::size_t>(workers));
-        for (int w = 0; w < workers; ++w) {
+        pool.reserve(static_cast<std::size_t>(spawn));
+        for (int w = 0; w < spawn; ++w) {
             pool.emplace_back([&]() {
                 for (;;) {
-                    const std::size_t i =
-                        next.fetch_add(1, std::memory_order_relaxed);
-                    if (i >= specs.size())
+                    if (stopSeen())
                         return;
-                    out.modules[i] = runJob(specs[i], i, fn);
-                    emitHeartbeat(out.modules[i]);
+                    const std::size_t slot =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (slot >= pending_idx.size())
+                        return;
+                    processJob(pending_idx[slot]);
                 }
             });
         }
@@ -216,9 +349,15 @@ CampaignRunner::run(const std::vector<ModuleSpec> &specs,
     out.wallMs = elapsedMs(wall_begin);
 
     // Aggregation: single-threaded, in campaign order, so the merged
-    // registry and rollups are independent of scheduling.
+    // registry and rollups are independent of scheduling. Jobs without
+    // a final result (stop-interrupted or never started) are excluded
+    // and surface as pendingJobs instead.
     Time sim_total = 0;
     for (const ModuleResult &m : out.modules) {
+        if (!m.completed) {
+            ++out.pendingJobs;
+            continue;
+        }
         out.watchdogRetries +=
             static_cast<std::uint64_t>(std::max(m.attempts - 1, 0));
         out.quarantinedJobs += m.quarantined ? 1 : 0;
@@ -227,6 +366,7 @@ CampaignRunner::run(const std::vector<ModuleSpec> &specs,
         sim_total += m.simNs;
         out.merged.merge(m.metrics, "module." + m.module + ".");
     }
+    out.interrupted = out.pendingJobs > 0;
     out.merged.counter("campaign.jobs")
         .inc(static_cast<std::uint64_t>(out.modules.size()));
     out.merged.counter("campaign.watchdog_retries")
@@ -256,6 +396,11 @@ CampaignResult::verdicts() const
     for (const ModuleResult &m : modules) {
         Json entry = Json::object();
         entry["module"] = Json(m.module);
+        if (!m.completed) {
+            entry["pending"] = Json(true);
+            array.push(std::move(entry));
+            continue;
+        }
         entry["ok"] = Json(m.ok);
         entry["attempts"] = Json(m.attempts);
         entry["quarantined"] = Json(m.quarantined);
@@ -274,6 +419,12 @@ CampaignResult::fillReport(ExperimentReport &report) const
     for (const ModuleResult &m : modules) {
         Json round = Json::object();
         round["module"] = Json(m.module);
+        if (!m.completed) {
+            // Interrupted mid-flight or never started: resumable.
+            round["pending"] = Json(true);
+            report.addRound(std::move(round));
+            continue;
+        }
         round["ok"] = Json(m.ok);
         round["attempts"] = Json(m.attempts);
         round["quarantined"] = Json(m.quarantined);
@@ -297,6 +448,30 @@ CampaignResult::fillReport(ExperimentReport &report) const
     report.setResult("vrt_flips", Json(faultTotals.vrtFlips));
     report.setResult("dropped_commands",
                      Json(faultTotals.droppedCommands()));
+    // Structured error roll-up: one entry per job whose final attempt
+    // failed, machine-readable enough for CI to key on. Deterministic
+    // (error text carries simulated times only), so the key's presence
+    // does not perturb resumed-vs-clean byte equality.
+    if (failedJobs > 0) {
+        Json errors = Json::array();
+        for (const ModuleResult &m : modules) {
+            if (!m.completed || m.ok)
+                continue;
+            Json entry = Json::object();
+            entry["module"] = Json(m.module);
+            entry["quarantined"] = Json(m.quarantined);
+            entry["attempts"] = Json(m.attempts);
+            entry["error"] = Json(m.error);
+            errors.push(std::move(entry));
+        }
+        report.setResult("errors", std::move(errors));
+    }
+    // Emitted only when true so a completed resumed run's report stays
+    // byte-identical to the uninterrupted run's.
+    if (interrupted) {
+        report.setResult("interrupted", Json(true));
+        report.setResult("pending", Json(pendingJobs));
+    }
     report.setTiming(wallMs, sim_total);
     report.attachMetrics(merged);
 }

@@ -36,8 +36,10 @@
 #ifndef UTRR_RUNNER_CAMPAIGN_HH
 #define UTRR_RUNNER_CAMPAIGN_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,6 +47,7 @@
 #include "common/types.hh"
 #include "dram/module.hh"
 #include "fault/fault_injector.hh"
+#include "fault/io_fault.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
 #include "obs/telemetry.hh"
@@ -93,6 +96,55 @@ struct CampaignConfig
      * attaching a sink cannot perturb the determinism guarantees.
      */
     TelemetrySink *telemetry = nullptr;
+
+    // --- durability (DESIGN.md §14) ----------------------------------
+
+    /**
+     * Write-ahead result journal path (empty = journaling off). Every
+     * finished job is appended as a checksummed, fsynced JSONL record
+     * *before* its result is published, so a crash at any instant
+     * loses at most the jobs still in flight.
+     */
+    std::string journalPath;
+
+    /**
+     * Resume from an existing journal: completed jobs whose content
+     * key matches this campaign are loaded instead of re-run; only the
+     * missing (or quarantined — those re-attempt with fresh salts)
+     * jobs are scheduled. A journal written by a different campaign
+     * configuration is rotated aside to "<journalPath>.stale".
+     */
+    bool resume = false;
+
+    /** fsync the journal after each record (off only for benches). */
+    bool journalFsync = true;
+
+    /**
+     * Identity of the job *body* and its configuration, folded into
+     * the campaign content hash. Callers must change this string
+     * whenever the job function would produce different results for
+     * the same (spec, seed) — e.g. "identify:battery:v1" vs a digest
+     * of the fuzz options — so stale journals can never resume into a
+     * differently-configured campaign.
+     */
+    std::string contentTag;
+
+    /**
+     * Cooperative-stop flag (not owned; nullptr = never stops).
+     * Polled by workers between jobs and by the host at its watchdog
+     * poll point, so SIGINT/SIGTERM (via runner/cancellation.hh)
+     * abandons in-flight work within a few simulated commands, the
+     * journal stays complete, and run() returns a partial result with
+     * interrupted = true.
+     */
+    const std::atomic<bool> *stopFlag = nullptr;
+
+    /**
+     * Crash-test hook forwarded to the journal writer (tests/CI only):
+     * the append of record N kills the process mid-write. When unset,
+     * UTRR_JOURNAL_CRASH from the environment is honoured instead.
+     */
+    std::optional<JournalWriteFault> journalFault;
 };
 
 /** Everything a job body may touch. All of it is job-private. */
@@ -136,6 +188,19 @@ struct ModuleResult
     bool ok = false;
     /** True when watchdog retries were exhausted. */
     bool quarantined = false;
+    /**
+     * Holds a final result (fresh or journaled)? False for jobs that
+     * were interrupted mid-flight or never scheduled — those are
+     * excluded from aggregation and reported as pending.
+     */
+    bool completed = false;
+    /** Restored from the write-ahead journal instead of executed. */
+    bool fromJournal = false;
+    /**
+     * Total attempts, including those of prior interrupted runs (a
+     * quarantined job resumed from a journal continues the ladder with
+     * freshly salted attempts instead of replaying its failure).
+     */
     int attempts = 0;
     /** Last error (watchdog/exception text); empty on success. */
     std::string error;
@@ -160,6 +225,22 @@ struct CampaignResult
     std::uint64_t quarantinedJobs = 0;
     /** Jobs whose final attempt was not ok (includes quarantined). */
     std::uint64_t failedJobs = 0;
+    /**
+     * True when a cooperative stop interrupted the campaign before
+     * every job finished: the journal (if any) is complete for the
+     * finished jobs and the run is resumable.
+     */
+    bool interrupted = false;
+    /** Jobs restored from the journal rather than executed. */
+    std::uint64_t journaledJobs = 0;
+    /** Jobs actually scheduled (campaign size minus journaled). */
+    std::uint64_t scheduledJobs = 0;
+    /** Jobs without a final result (interrupted / never started). */
+    std::uint64_t pendingJobs = 0;
+    /** Journal recovery diagnostics (resume only). */
+    std::uint64_t journalCorruptRecords = 0;
+    std::uint64_t journalForeignRecords = 0;
+    bool journalTornTail = false;
     FaultInjector::Stats faultTotals;
     /**
      * Per-module registries merged under "module.<name>." plus
@@ -168,7 +249,7 @@ struct CampaignResult
      */
     MetricsRegistry merged;
 
-    bool allOk() const { return failedJobs == 0; }
+    bool allOk() const { return failedJobs == 0 && pendingJobs == 0; }
 
     /**
      * Deterministic per-module verdict array (campaign order): module,
@@ -205,8 +286,14 @@ class CampaignRunner
     static int hardwareConcurrency();
 
   private:
+    /**
+     * Execute one job. @p attempt_base > 0 continues a prior run's
+     * retry ladder (resume of a quarantined job): every RNG/fault salt
+     * uses the *effective* attempt (base + local), so the re-run draws
+     * fresh streams instead of replaying the recorded failure.
+     */
     ModuleResult runJob(const ModuleSpec &spec, std::uint64_t index,
-                        const JobFn &fn) const;
+                        const JobFn &fn, int attempt_base) const;
 
     CampaignConfig cfg;
 };

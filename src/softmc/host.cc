@@ -21,6 +21,13 @@ WatchdogTimeout::WatchdogTimeout(Time budget_ns, Time deadline_ns,
 {
 }
 
+StopRequested::StopRequested(Time now_ns)
+    : std::runtime_error(
+          logFmt("cooperative stop requested at ", now_ns, "ns")),
+      nowNs(now_ns)
+{
+}
+
 SoftMcHost::SoftMcHost(DramModule &module, Timing timing)
     : dram(module), timingParams(timing)
 {
@@ -77,6 +84,13 @@ SoftMcHost::clearWatchdog()
 void
 SoftMcHost::checkWatchdog()
 {
+    // The stop flag shares the watchdog's poll point (after every
+    // command); the null check keeps the fault-free hot path to one
+    // predictable branch.
+    if (stopFlag != nullptr &&
+        stopFlag->load(std::memory_order_relaxed)) {
+        throw StopRequested(clock);
+    }
     if (wdDeadline >= 0 && clock > wdDeadline)
         throw WatchdogTimeout(wdBudget, wdDeadline, clock, acts, refCmds);
 }

@@ -15,6 +15,7 @@
 #ifndef UTRR_SOFTMC_HOST_HH
 #define UTRR_SOFTMC_HOST_HH
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <utility>
@@ -54,6 +55,22 @@ class WatchdogTimeout : public std::runtime_error
     /** Commands issued by the host up to the overrun. */
     std::uint64_t actsIssued;
     std::uint64_t refsIssued;
+};
+
+/**
+ * Structured error thrown when a cooperative-stop flag attached via
+ * SoftMcHost::attachStopFlag is observed set at the watchdog poll point
+ * (i.e. after any simulated command). Campaign workers let it unwind the
+ * whole job body — the job is abandoned, not retried, and the campaign
+ * returns a resumable partial result (DESIGN.md §14).
+ */
+class StopRequested : public std::runtime_error
+{
+  public:
+    explicit StopRequested(Time now_ns);
+
+    /** Simulated time when the stop was observed. */
+    Time nowNs;
 };
 
 /** One captured READ result. */
@@ -200,6 +217,18 @@ class SoftMcHost
     /** Armed deadline (ns of simulated time), or -1 when disarmed. */
     Time watchdogDeadline() const { return wdDeadline; }
 
+    /**
+     * Attach a cooperative-stop flag (not owned; nullptr detaches).
+     * Polled at the watchdog poll point — after every simulated
+     * command — so a long-running job observes SIGINT/SIGTERM within
+     * a few commands and unwinds via StopRequested. The flag is only
+     * ever read (relaxed), never written, by the host.
+     */
+    void attachStopFlag(const std::atomic<bool> *flag)
+    {
+        stopFlag = flag;
+    }
+
     // --- observability --------------------------------------------------
 
     /**
@@ -241,6 +270,7 @@ class SoftMcHost
     FaultInjector *fault = nullptr;
     Time wdBudget = 0;
     Time wdDeadline = -1;
+    const std::atomic<bool> *stopFlag = nullptr;
     CommandTrace cmdTrace;
     MetricsRegistry *metrics = nullptr;
 };

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -264,6 +266,109 @@ TEST(TelemetrySinkTest, BadPathReportsNotGood)
 {
     TelemetrySink sink("/nonexistent-dir/telemetry.jsonl");
     EXPECT_FALSE(sink.good());
+}
+
+TEST(TelemetrySinkTest, CampaignResumeSeedsTheProgressTally)
+{
+    // Journaled jobs emit no heartbeat of their own; campaign_resume
+    // seeds jobs_done so the stream still ends at jobs_total.
+    std::ostringstream os;
+    TelemetrySink sink(os);
+    sink.campaignStart(5, 1, 1);
+    sink.campaignResume(3, 2);
+
+    JobHeartbeat beat;
+    beat.module = "A0";
+    beat.ok = true;
+    beat.attempts = 1;
+    sink.heartbeat(beat);
+    sink.heartbeat(beat);
+    sink.campaignEnd(5, 0, 0, 0, 1.0);
+
+    const std::vector<Json> records = parseLines(os.str());
+    ASSERT_EQ(records.size(), 5u);
+    const Json &resume = records[1];
+    EXPECT_EQ(resume.find("type")->asString(), "campaign_resume");
+    EXPECT_EQ(intField(resume, "seq"), 1);
+    EXPECT_EQ(intField(resume, "schema"), kTelemetrySchemaVersion);
+    EXPECT_EQ(intField(resume, "journaled"), 3);
+    EXPECT_EQ(intField(resume, "scheduled"), 2);
+    EXPECT_EQ(intField(resume, "jobs_total"), 5);
+    // The two live heartbeats continue from the journaled baseline.
+    EXPECT_EQ(intField(records[2], "jobs_done"), 4);
+    EXPECT_EQ(intField(records[3], "jobs_done"), 5);
+}
+
+TEST(TelemetrySinkTest, ResumedCampaignEmitsTheResumeRecord)
+{
+    const std::string journal = "telemetry_test_resume.jsonl";
+    std::remove(journal.c_str());
+    std::vector<ModuleSpec> specs;
+    for (const char *name : {"A0", "B3", "C7"})
+        specs.push_back(*findModuleSpec(name));
+    const JobFn job = [](JobContext &ctx) {
+        ctx.host.refBurst(2);
+        JobOutcome outcome;
+        outcome.ok = true;
+        outcome.verdict = Json::object();
+        return outcome;
+    };
+
+    CampaignConfig config;
+    config.jobs = 1;
+    config.seed = 11;
+    config.journalPath = journal;
+    config.journalFsync = false;
+    config.contentTag = "test:telemetry:v1";
+    CampaignRunner runner(config);
+    ASSERT_TRUE(runner.run(specs, job).allOk());
+
+    // Resume with everything journaled: campaign_start, then the
+    // resume record, then straight to campaign_end — no heartbeats.
+    std::ostringstream os;
+    TelemetrySink sink(os);
+    config.resume = true;
+    config.telemetry = &sink;
+    CampaignRunner resumer(config);
+    ASSERT_TRUE(resumer.run(specs, job).allOk());
+
+    const std::vector<Json> records = parseLines(os.str());
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].find("type")->asString(), "campaign_start");
+    const Json &resume = records[1];
+    EXPECT_EQ(resume.find("type")->asString(), "campaign_resume");
+    EXPECT_EQ(intField(resume, "journaled"), 3);
+    EXPECT_EQ(intField(resume, "scheduled"), 0);
+    const Json &end = records[2];
+    EXPECT_EQ(end.find("type")->asString(), "campaign_end");
+    EXPECT_EQ(intField(end, "failures"), 0);
+    std::remove(journal.c_str());
+}
+
+TEST(TelemetrySinkTest, FsyncingFileSinkWritesDurableRecords)
+{
+    const std::string path = "telemetry_test_fsync.jsonl";
+    std::remove(path.c_str());
+    {
+        TelemetrySink sink(path, /*fsync_each_record=*/true);
+        ASSERT_TRUE(sink.good());
+        sink.campaignStart(1, 1, 7);
+        JobHeartbeat beat;
+        beat.module = "A0";
+        beat.ok = true;
+        beat.attempts = 1;
+        sink.heartbeat(beat);
+        sink.campaignEnd(1, 0, 0, 0, 1.0);
+    }
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::ostringstream text;
+    text << is.rdbuf();
+    const std::vector<Json> records = parseLines(text.str());
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].find("type")->asString(), "campaign_start");
+    EXPECT_EQ(records[2].find("type")->asString(), "campaign_end");
+    std::remove(path.c_str());
 }
 
 } // namespace
