@@ -34,6 +34,35 @@ struct MinimizeOptions
     std::size_t maxEvaluations = 2'000;
 };
 
+/**
+ * Generic ddmin over an index set [0, count). The predicate receives
+ * the sorted kept-index subset and returns true while that subset
+ * still exhibits the property being minimized. This is the engine
+ * minimizeProgram runs on; the pattern synthesizer reuses it to drop
+ * whole pattern *elements* instead of program lines.
+ */
+using IndexPredicate =
+    std::function<bool(const std::vector<std::size_t> &kept)>;
+
+struct DdminResult
+{
+    /** 1-minimal surviving subset (sorted ascending). */
+    std::vector<std::size_t> kept;
+    /** Predicate evaluations spent (the initial check included). */
+    std::size_t evaluations = 0;
+    /** False when maxEvaluations stopped the search early. */
+    bool converged = true;
+};
+
+/**
+ * Shrink the index set [0, @p count) while @p still_failing holds.
+ * The predicate must hold for the full set; if it does not, the full
+ * set is returned unchanged (with converged = true).
+ */
+DdminResult ddminIndices(std::size_t count,
+                         const IndexPredicate &still_failing,
+                         MinimizeOptions options = {});
+
 struct MinimizeResult
 {
     /** The minimized (repaired, still-violating) program. */

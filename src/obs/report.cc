@@ -44,6 +44,12 @@ ExperimentReport::setResult(const std::string &key, Json value)
 }
 
 void
+ExperimentReport::setSection(const std::string &name, Json value)
+{
+    root[name] = std::move(value);
+}
+
+void
 ExperimentReport::setTiming(double wall_ms, Time sim_ns)
 {
     Json &timing = root["timing"];

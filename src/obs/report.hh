@@ -51,6 +51,14 @@ class ExperimentReport
     /** Record a result key. */
     void setResult(const std::string &key, Json value);
 
+    /**
+     * Install a whole named top-level section (e.g. the synthesizer's
+     * "bypass_table"). Section content survives deterministicProjection
+     * except for the usual wall-clock keys, so sections must hold only
+     * campaign-input-determined data if byte-equality matters.
+     */
+    void setSection(const std::string &name, Json value);
+
     /** Record wall-clock and simulated duration. */
     void setTiming(double wall_ms, Time sim_ns);
 

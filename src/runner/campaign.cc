@@ -113,7 +113,9 @@ CampaignRunner::runJob(const ModuleSpec &spec, std::uint64_t index,
                        module,
                        host,
                        injector ? &*injector : nullptr,
-                       metrics};
+                       metrics,
+                       cfg.moduleSeed,
+                       cfg.stopFlag};
 
         // Root-anchored so jobs-1 (inline on the caller's thread) and
         // jobs-N (worker threads) merge to identical profile paths.

@@ -162,6 +162,20 @@ struct JobContext
     /** nullptr when the campaign runs fault-free. */
     FaultInjector *fault;
     MetricsRegistry &metrics;
+    /**
+     * The campaign's DramModule silicon seed. Job bodies that build
+     * additional private module instances (e.g. the pattern
+     * synthesizer's fresh-substrate evaluations) must seed them from
+     * this so a job is a pure function of (spec, seed, moduleSeed).
+     */
+    std::uint64_t moduleSeed;
+    /**
+     * The campaign's cooperative-stop flag (nullptr = never stops).
+     * Job bodies that build private SoftMcHosts should attach it so a
+     * SIGINT lands inside long in-job loops too, not only at job
+     * boundaries.
+     */
+    const std::atomic<bool> *stopFlag;
 };
 
 /** What a job body returns. */

@@ -3,6 +3,8 @@
 #include "attack/evaluator.hh"
 #include "attack/pattern.hh"
 #include "attack/sweep.hh"
+#include "attack/synth.hh"
+#include "attack/trrespass.hh"
 #include "dram/module.hh"
 #include "softmc/host.hh"
 
@@ -206,6 +208,33 @@ TEST(Sweeps, ResultArithmetic)
     result.hammersPerAggrPerRef = 20.0;
     EXPECT_DOUBLE_EQ(result.vulnerableFraction(), 0.4);
     EXPECT_DOUBLE_EQ(result.maxFlipsPerRowPerHammer(), 1.5);
+}
+
+// The non-uniform synthesizer must strictly dominate the uniform
+// TRRespass baseline: one module per vendor where the black-box
+// fuzzer finds nothing but the insight-seeded synthesis flips bits.
+// Seeds are pinned — both searches are pure functions of them.
+TEST(BaselineGuard, UniformFuzzerFailsWhereSynthesizerSucceeds)
+{
+    for (const char *name : {"A5", "B13", "C12"}) {
+        AttackFixture fix(name, 2021);
+        TrrespassFuzzer::Config fuzz_cfg;
+        fuzz_cfg.attempts = 8;
+        fuzz_cfg.positions = 2;
+        TrrespassFuzzer fuzzer(fix.host, fix.mapping, fuzz_cfg, 1);
+        const FuzzResult fuzz = fuzzer.fuzz();
+        EXPECT_FALSE(fuzz.anyFlips())
+            << name << ": uniform baseline unexpectedly flips ("
+            << fuzz.best.describe() << ")";
+
+        SynthConfig synth_cfg;
+        synth_cfg.attempts = 8;
+        synth_cfg.sweepBanks = 1;
+        const SynthModuleResult synth = synthesizeForModule(
+            fix.spec, synth_cfg, Rng(1).fork(name).fork("synth"));
+        EXPECT_TRUE(synth.beaten) << name;
+        EXPECT_GT(synth.verifyFlips, 0) << name;
+    }
 }
 
 TEST(Sweeps, DefaultParamsPerVendor)

@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "attack/synth.hh"
 #include "common/rng.hh"
 #include "dram/refresh_engine.hh"
 #include "ecc/chipkill.hh"
@@ -428,6 +429,111 @@ TEST(EccProperty, ChipkillAdversarialTripleSymbolMiscorrects)
     ASSERT_EQ(result.status, RsDecodeResult::Status::kCorrected);
     EXPECT_EQ(Chipkill::dataOf(result.codeword), data_b);
     EXPECT_NE(Chipkill::dataOf(result.codeword), data_a);
+}
+
+// --- pattern synthesizer ---------------------------------------------
+
+// Every fuzzed draw respects both the hard representation limits and
+// the *configured* SynthRanges, for default and tightened ranges alike.
+TEST(SynthProperty, DrawsStayInDeclaredRanges)
+{
+    SynthRanges tight;
+    tight.minBasePeriod = 3;
+    tight.maxBasePeriod = 9;
+    tight.minAmplitude = 12;
+    tight.maxAmplitude = 40;
+    tight.maxDummyRows = 6;
+    tight.maxDummyBanks = 2;
+
+    for (const SynthRanges &ranges : {SynthRanges{}, tight}) {
+        Rng rng(7);
+        for (int seed = 0; seed < 400; ++seed) {
+            const int hint = (seed % 3 == 0) ? -1 : (seed % 20);
+            const HammerPattern pattern =
+                drawPattern(rng, ranges, hint);
+
+            EXPECT_EQ("", validatePattern(pattern));
+            EXPECT_GE(pattern.basePeriod, ranges.minBasePeriod);
+            EXPECT_LE(pattern.basePeriod, ranges.maxBasePeriod);
+            EXPECT_LE(pattern.basePeriod,
+                      PatternLimits::kMaxBasePeriod);
+            EXPECT_LE(pattern.elements.size(),
+                      static_cast<std::size_t>(
+                          PatternLimits::kMaxElements));
+
+            for (const PatternElement &e : pattern.elements) {
+                EXPECT_GE(e.frequency, 1);
+                EXPECT_GE(e.span, 1);
+                EXPECT_GE(e.phase, 0);
+                EXPECT_LT(e.phase, pattern.basePeriod);
+                EXPECT_LE(e.amplitude, ranges.maxAmplitude);
+                if (e.amplitude != 0) {
+                    EXPECT_GE(e.amplitude,
+                              std::min(ranges.minAmplitude,
+                                       ranges.maxAmplitude));
+                }
+                if (e.kind == ElementKind::kAggressors) {
+                    EXPECT_GE(e.rows, 1);
+                    EXPECT_LE(e.rows,
+                              PatternLimits::kMaxAggressorRows);
+                    EXPECT_EQ(e.banks, 1);
+                } else {
+                    EXPECT_GE(e.rows, 1);
+                    EXPECT_LE(e.rows, ranges.maxDummyRows);
+                    EXPECT_GE(e.banks, 1);
+                    EXPECT_LE(e.banks, ranges.maxDummyBanks);
+                }
+            }
+        }
+    }
+}
+
+// The ddmin minimizer must never turn a winner into a loser: when a
+// module is beaten, the *minimized* pattern is what the replay stage
+// re-verifies on a fresh host, so verifyFlips > 0 certifies that the
+// reduced pattern still flips bits.
+TEST(SynthProperty, MinimizedWinnerKeepsItsVerdict)
+{
+    for (const char *name : {"C12", "B13"}) {
+        const ModuleSpec spec = *findModuleSpec(name);
+        SynthConfig cfg;
+        cfg.attempts = 16;
+        cfg.sweepBanks = 2;
+        const SynthModuleResult result = synthesizeForModule(
+            spec, cfg, Rng(1).fork(spec.name).fork("synth"));
+        ASSERT_TRUE(result.beaten) << name;
+        EXPECT_GT(result.verifyFlips, 0) << name;
+        EXPECT_LE(result.elementsAfter, result.elementsBefore) << name;
+        EXPECT_EQ("", validatePattern(result.best)) << name;
+    }
+}
+
+// The bypass table is a pure function of (config, seed): running the
+// campaign with one worker or four must produce byte-identical
+// verdicts and the byte-identical table.
+TEST(SynthProperty, BypassTableIsJobsInvariant)
+{
+    const std::vector<std::string> slice = {"A0",  "A5", "A9", "A12",
+                                            "B13", "B9", "C12", "C7"};
+    std::vector<ModuleSpec> specs;
+    for (const std::string &name : slice)
+        specs.push_back(*findModuleSpec(name));
+
+    SynthCampaignConfig cfg;
+    cfg.seed = 1;
+    cfg.synth.attempts = 4;
+    cfg.synth.positions = 2;
+    cfg.synth.sweepBanks = 2;
+    cfg.synth.minimizeMaxEvaluations = 12;
+
+    cfg.jobs = 1;
+    const CampaignResult serial = runSynthCampaign(specs, cfg);
+    cfg.jobs = 4;
+    const CampaignResult parallel = runSynthCampaign(specs, cfg);
+
+    EXPECT_EQ(serial.verdicts().dump(), parallel.verdicts().dump());
+    EXPECT_EQ(bypassTable(serial, specs).dump(),
+              bypassTable(parallel, specs).dump());
 }
 
 } // namespace
