@@ -38,6 +38,7 @@
 #include "attack/sweep.hh"
 #include "common/logging.hh"
 #include "core/row_scout.hh"
+#include "core/sim_backend.hh"
 #include "dram/module.hh"
 #include "obs/profiler.hh"
 #include "obs/report.hh"
@@ -250,6 +251,52 @@ BM_AttackPosition(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 512); // REF slots
 }
 BENCHMARK(BM_AttackPosition);
+
+void
+BM_SnapshotFork(benchmark::State &state)
+{
+    // Capture + fork of a heavily written device. COW row sharing makes
+    // this O(slot-table), not O(written data): the fork shares every
+    // row container with the parent and copies only the bank slot
+    // tables, refresh/TRR position and host clock (DESIGN.md §16).
+    SimBackend sim(benchSpec(TrrVersion::kATrr1), 6);
+    for (Row r = 0; r < 8'192; ++r)
+        sim.host().writeRow(0, r, DataPattern::checkerboard());
+    const DeviceSnapshot snap = sim.captureDevice();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.fork(snap));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotFork);
+
+void
+BM_ProfileReuse(benchmark::State &state)
+{
+    // The profile-cache hit path: one RowScout profile up front, then
+    // every "experiment" rewinds to the post-profile snapshot instead
+    // of re-scanning. Compare against BM_RetentionScan/1024 — the
+    // miss path this restore replaces.
+    SimBackend sim(benchSpec(TrrVersion::kNone), 2);
+    RowScoutConfig cfg;
+    cfg.rowEnd = 1'024;
+    cfg.consistencyChecks = 10;
+    RowScout scout(sim.host(),
+                   DiscoveredMapping::identity(
+                       sim.module().spec().rowsPerBank),
+                   cfg);
+    benchmark::DoNotOptimize(scout.scanFailingRows(msToNs(500)));
+    const std::uint64_t token = sim.snapshot();
+    Program probe;
+    probe.hammer(0, 500, 256);
+    probe.ref(4);
+    probe.readRow(0, 499);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.execute(probe));
+        sim.restore(token);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileReuse);
 
 /**
  * Console reporter that additionally captures every run into a metrics
@@ -556,6 +603,11 @@ main(int argc, char **argv)
                      Json(static_cast<std::uint64_t>(specs.size())));
     report.setResult("campaign_failures", Json(failures));
     report.setResult("hardware_concurrency", Json(hw));
+    // On a single-core host every matrix point runs serially, so the
+    // speedup column is meaningless (~1.0x by construction). Flag it so
+    // scripts/bench_check.py reports the matrix as unmeasured instead
+    // of comparing noise.
+    report.setResult("parallel_unmeasured", Json(hw <= 1));
     report.setResult("runner_serial_ms", Json(serial_ms));
     report.setResult("runner_best_ms", Json(best_ms));
     report.setResult("runner_best_jobs", Json(best_jobs));

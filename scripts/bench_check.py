@@ -11,7 +11,9 @@ Benchmarks present in only one of the two files are reported but never
 fatal (the baseline refresh lands in the same commit as a new
 benchmark). Campaign wall-clock results (``runner_*``) are informational
 only: they depend on the host's core count, so they are printed when
-present but never gate.
+present but never gate. When the producing run sets
+``parallel_unmeasured`` (single-core host), the speedup line becomes an
+explicit warning instead of a measurement.
 
 Intended CI use (non-blocking step):
 
@@ -84,8 +86,15 @@ def main():
         jobs = results.get("runner_best_jobs",
                            results.get("runner_parallel_jobs"))
         hw = results.get("hardware_concurrency")
-        print(f"  [info] runner_speedup {speedup:.2f}x at {jobs} jobs "
-              f"(hardware_concurrency {hw}) — host-dependent, not gated")
+        if results.get("parallel_unmeasured"):
+            print(f"  [warn] scaling matrix ran on a single-core host "
+                  f"(hardware_concurrency {hw}): the recorded "
+                  f"{speedup:.2f}x speedup is serial-vs-serial noise, "
+                  f"not a parallelism measurement")
+        else:
+            print(f"  [info] runner_speedup {speedup:.2f}x at {jobs} "
+                  f"jobs (hardware_concurrency {hw}) — host-dependent, "
+                  f"not gated")
 
     if failures:
         print(f"bench_check: FAIL — {len(failures)} benchmark(s) more "

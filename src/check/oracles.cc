@@ -2,11 +2,10 @@
 
 #include <sstream>
 
-#include "check/reference_module.hh"
+#include "check/reference_backend.hh"
 #include "common/logging.hh"
+#include "core/sim_backend.hh"
 #include "obs/profiler.hh"
-#include "dram/module.hh"
-#include "softmc/host.hh"
 #include "softmc/timing_checker.hh"
 
 namespace utrr
@@ -14,39 +13,6 @@ namespace utrr
 
 namespace
 {
-
-/** FNV-1a over 64-bit values. */
-class Fnv
-{
-  public:
-    void
-    mix(std::uint64_t value)
-    {
-        for (int byte = 0; byte < 8; ++byte) {
-            hash ^= (value >> (byte * 8)) & 0xff;
-            hash *= 0x100000001b3ULL;
-        }
-    }
-
-    std::uint64_t value() const { return hash; }
-
-  private:
-    std::uint64_t hash = 0xcbf29ce484222325ULL;
-};
-
-std::uint64_t
-hashReads(const ExecResult &result)
-{
-    Fnv fnv;
-    for (const ReadRecord &read : result.reads) {
-        fnv.mix(static_cast<std::uint64_t>(read.bank));
-        fnv.mix(static_cast<std::uint64_t>(read.row));
-        fnv.mix(static_cast<std::uint64_t>(read.when));
-        for (int w = 0; w < read.readout.words(); ++w)
-            fnv.mix(read.readout.word(w));
-    }
-    return fnv.value();
-}
 
 class ViolationSink
 {
@@ -82,6 +48,47 @@ class ViolationSink
     std::size_t seen = 0;
     std::size_t overflow = 0;
 };
+
+/** Element-wise read/end-time comparison of two backend results. */
+void
+compareResults(ViolationSink &sink, const BackendResult &got,
+               const BackendResult &want, const std::string &wantName)
+{
+    if (got.reads.size() != want.reads.size()) {
+        sink.add(logFmt("read count ", got.reads.size(), " vs ",
+                        want.reads.size(), " in ", wantName));
+    } else {
+        for (std::size_t i = 0; i < got.reads.size(); ++i) {
+            const BackendRead &g = got.reads[i];
+            const BackendRead &w = want.reads[i];
+            if (g.bank != w.bank || g.row != w.row || g.when != w.when) {
+                sink.add(logFmt("read ", i, ": got bank ", g.bank,
+                                " row ", g.row, " at ", g.when, "ns, ",
+                                wantName, " bank ", w.bank, " row ",
+                                w.row, " at ", w.when, "ns"));
+                continue;
+            }
+            if (g.words.size() != w.words.size()) {
+                sink.add(logFmt("read ", i, ": ", g.words.size(),
+                                " words vs ", w.words.size(), " in ",
+                                wantName));
+                continue;
+            }
+            for (std::size_t wd = 0; wd < g.words.size(); ++wd) {
+                if (g.words[wd] == w.words[wd])
+                    continue;
+                sink.add(logFmt("read ", i, " (bank ", g.bank, " row ",
+                                g.row, ") word ", wd, ": got 0x",
+                                std::hex, g.words[wd], " ", wantName,
+                                " 0x", w.words[wd], std::dec));
+                break; // one word per read keeps reports short
+            }
+        }
+    }
+    if (got.endTime != want.endTime)
+        sink.add(logFmt("end time ", got.endTime, "ns vs ",
+                        want.endTime, "ns in ", wantName));
+}
 
 } // namespace
 
@@ -129,76 +136,39 @@ runOracleSuite(const ModuleSpec &spec, const Program &program,
     const std::size_t trace_cap =
         estimateTraceEvents(program, cfg.timing) + cfg.traceMargin;
 
-    // Production execution.
-    DramModule module(spec, cfg.moduleSeed, cfg.retention);
-    SoftMcHost host(module, cfg.timing);
-    host.trace().enable(trace_cap);
-    const ExecResult exec = host.execute(program);
+    // Production execution, through the backend seam.
+    SimBackend sim(spec, cfg.moduleSeed, cfg.retention, cfg.timing);
+    sim.host().trace().enable(trace_cap);
+    const std::uint64_t simToken =
+        cfg.checkSnapshot ? sim.snapshot() : 0;
+    const BackendResult exec = sim.execute(program);
 
     report.reads = exec.reads.size();
     report.endTime = exec.endTime;
-    report.traceHash = host.trace().contentHash();
-    report.readHash = hashReads(exec);
+    report.traceHash = sim.host().trace().contentHash();
+    report.readHash = hashBackendReads(exec);
 
-    if (host.trace().dropped() > 0) {
+    if (sim.host().trace().dropped() > 0) {
         // A wrapped ring would silently blind the timing and determinism
         // oracles; treat it as a harness bug, not a module bug.
         report.violations.push_back(
             {"internal",
-             logFmt("trace ring dropped ", host.trace().dropped(),
+             logFmt("trace ring dropped ", sim.host().trace().dropped(),
                     " events (capacity ", trace_cap, ")")});
     }
 
     // Reference execution.
-    ReferenceModule reference(spec, cfg.moduleSeed, cfg.retention,
-                              cfg.timing);
-    const ReferenceResult ref = reference.execute(program);
+    ReferenceBackend reference(spec, cfg.moduleSeed, cfg.retention,
+                               cfg.timing);
+    const std::uint64_t refToken =
+        cfg.checkSnapshot ? reference.snapshot() : 0;
+    const BackendResult ref = reference.execute(program);
 
     {
         UTRR_PROF_SCOPE("oracle.differential");
         ViolationSink sink(report, "differential",
                            cfg.maxViolationsPerOracle);
-        if (exec.reads.size() != ref.reads.size()) {
-            sink.add(logFmt("read count ", exec.reads.size(), " vs ",
-                            ref.reads.size(), " in reference"));
-        } else {
-            for (std::size_t i = 0; i < exec.reads.size(); ++i) {
-                const ReadRecord &got = exec.reads[i];
-                const ReferenceRead &want = ref.reads[i];
-                if (got.bank != want.bank || got.row != want.row ||
-                    got.when != want.when) {
-                    sink.add(logFmt("read ", i, ": got bank ", got.bank,
-                                    " row ", got.row, " at ", got.when,
-                                    "ns, reference bank ", want.bank,
-                                    " row ", want.row, " at ",
-                                    want.when, "ns"));
-                    continue;
-                }
-                const int words = got.readout.words();
-                if (static_cast<std::size_t>(words) !=
-                    want.words.size()) {
-                    sink.add(logFmt("read ", i, ": ", words,
-                                    " words vs ", want.words.size(),
-                                    " in reference"));
-                    continue;
-                }
-                for (int w = 0; w < words; ++w) {
-                    if (got.readout.word(w) ==
-                        want.words[static_cast<std::size_t>(w)])
-                        continue;
-                    sink.add(logFmt(
-                        "read ", i, " (bank ", got.bank, " row ",
-                        got.row, ") word ", w, ": got 0x", std::hex,
-                        got.readout.word(w), " reference 0x",
-                        want.words[static_cast<std::size_t>(w)],
-                        std::dec));
-                    break; // one word per read keeps reports short
-                }
-            }
-        }
-        if (exec.endTime != ref.endTime)
-            sink.add(logFmt("end time ", exec.endTime, "ns vs ",
-                            ref.endTime, "ns in reference"));
+        compareResults(sink, exec, ref, "reference");
     }
 
     if (cfg.checkTiming) {
@@ -206,7 +176,7 @@ runOracleSuite(const ModuleSpec &spec, const Program &program,
         ViolationSink sink(report, "timing",
                            cfg.maxViolationsPerOracle);
         TimingChecker checker(cfg.timing, spec.banks);
-        for (const TraceEvent &event : host.trace().events()) {
+        for (const TraceEvent &event : sim.traceEvents()) {
             switch (event.kind) {
               case TraceKind::kAct:
                 checker.onAct(event.bank, event.row, event.start);
@@ -235,54 +205,80 @@ runOracleSuite(const ModuleSpec &spec, const Program &program,
         UTRR_PROF_SCOPE("oracle.accounting");
         ViolationSink sink(report, "accounting",
                            cfg.maxViolationsPerOracle);
-        if (module.refCount() != reference.refCount())
-            sink.add(logFmt("REF count ", module.refCount(), " vs ",
-                            reference.refCount(), " in reference"));
-        if (module.trrRefreshCount() !=
-            reference.trrVictimRefreshCount())
-            sink.add(logFmt("TRR victim refreshes ",
-                            module.trrRefreshCount(), " vs ",
-                            reference.trrVictimRefreshCount(),
+        const BackendAccounting got = sim.accounting();
+        const BackendAccounting want = reference.accounting();
+        if (got.refs != want.refs)
+            sink.add(logFmt("REF count ", got.refs, " vs ", want.refs,
                             " in reference"));
-        const GroundTruthProbe probe = module.groundTruthProbe();
-        if (probe.counter("chip.trr_events") !=
-            reference.trrEventCount())
+        if (got.trrEvents != want.trrEvents)
+            sink.add(logFmt("TRR events ", got.trrEvents, " vs ",
+                            want.trrEvents, " in reference"));
+        if (got.trrVictimRefreshes != want.trrVictimRefreshes)
+            sink.add(logFmt("TRR victim refreshes ",
+                            got.trrVictimRefreshes, " vs ",
+                            want.trrVictimRefreshes, " in reference"));
+        for (Bank b = 0; b < spec.banks; ++b) {
+            const std::size_t idx = static_cast<std::size_t>(b);
+            if (got.rowRefreshes[idx] == want.rowRefreshes[idx])
+                continue;
+            sink.add(logFmt("bank ", b, " row refreshes ",
+                            got.rowRefreshes[idx], " vs ",
+                            want.rowRefreshes[idx], " in reference"));
+        }
+        // Sim-only: the black-box counters the accounting surface
+        // reports must agree with the white-box ground-truth store.
+        const GroundTruthProbe probe = sim.module().groundTruthProbe();
+        if (probe.counter("chip.trr_events") != got.trrEvents)
             sink.add(logFmt("ground-truth TRR events ",
                             probe.counter("chip.trr_events"), " vs ",
-                            reference.trrEventCount(),
-                            " in reference"));
+                            got.trrEvents, " in sim accounting"));
         if (probe.counter("chip.trr_victim_refreshes") !=
-            reference.trrVictimRefreshCount())
+            got.trrVictimRefreshes)
             sink.add(logFmt(
                 "ground-truth TRR victim refreshes ",
                 probe.counter("chip.trr_victim_refreshes"), " vs ",
-                reference.trrVictimRefreshCount(), " in reference"));
-        for (Bank b = 0; b < spec.banks; ++b) {
-            if (module.bankAt(b).rowRefreshCount() ==
-                reference.rowRefreshCount(b))
-                continue;
-            sink.add(logFmt("bank ", b, " row refreshes ",
-                            module.bankAt(b).rowRefreshCount(), " vs ",
-                            reference.rowRefreshCount(b),
-                            " in reference"));
-        }
+                got.trrVictimRefreshes, " in sim accounting"));
     }
 
     if (cfg.checkDeterminism) {
         UTRR_PROF_SCOPE("oracle.determinism");
         ViolationSink sink(report, "determinism",
                            cfg.maxViolationsPerOracle);
-        DramModule module2(spec, cfg.moduleSeed, cfg.retention);
-        SoftMcHost host2(module2, cfg.timing);
-        host2.trace().enable(trace_cap);
-        const ExecResult exec2 = host2.execute(program);
-        if (host2.trace().contentHash() != report.traceHash)
+        SimBackend sim2(spec, cfg.moduleSeed, cfg.retention,
+                        cfg.timing);
+        sim2.host().trace().enable(trace_cap);
+        const BackendResult exec2 = sim2.execute(program);
+        if (sim2.host().trace().contentHash() != report.traceHash)
             sink.add("command trace differs between identical runs");
         if (exec2.endTime != exec.endTime)
             sink.add(logFmt("end time ", exec2.endTime, "ns vs ",
                             exec.endTime, "ns on rerun"));
-        if (hashReads(exec2) != report.readHash)
+        if (hashBackendReads(exec2) != report.readHash)
             sink.add("read-back data differs between identical runs");
+    }
+
+    if (cfg.checkSnapshot) {
+        UTRR_PROF_SCOPE("oracle.snapshot");
+        ViolationSink sink(report, "snapshot",
+                           cfg.maxViolationsPerOracle);
+        sim.restore(simToken);
+        const BackendResult replay = sim.execute(program);
+        if (hashBackendReads(replay) != report.readHash)
+            sink.add("sim read-back differs after snapshot restore");
+        if (replay.endTime != exec.endTime)
+            sink.add(logFmt("sim end time ", replay.endTime, "ns vs ",
+                            exec.endTime, "ns after snapshot restore"));
+        if (sim.host().trace().contentHash() != report.traceHash)
+            sink.add("sim command trace differs after snapshot restore");
+        reference.restore(refToken);
+        const BackendResult refReplay = reference.execute(program);
+        if (hashBackendReads(refReplay) != hashBackendReads(ref))
+            sink.add(
+                "reference read-back differs after snapshot restore");
+        if (refReplay.endTime != ref.endTime)
+            sink.add(logFmt("reference end time ", refReplay.endTime,
+                            "ns vs ", ref.endTime,
+                            "ns after snapshot restore"));
     }
 
     return report;

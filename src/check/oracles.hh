@@ -2,21 +2,28 @@
  * @file
  * Oracle suite of the differential fuzzing harness.
  *
- * One call runs a program through four independent checks:
+ * The suite drives both implementations through the DeviceBackend seam
+ * (src/core/device_backend.hh) — SimBackend for the production
+ * DramModule + SoftMcHost pair, ReferenceBackend for the naive shadow
+ * interpreter. One call runs a program through five independent checks:
  *
- *  1. **Differential**: execute on a fresh DramModule + SoftMcHost and
- *     on the naive ReferenceModule; every captured READ (bank, row,
- *     time, all row words) and the final clock must match exactly.
- *  2. **Timing**: replay the host's command trace through the
+ *  1. **Differential**: execute on both backends; every captured READ
+ *     (bank, row, time, all row words) and the final clock must match
+ *     exactly.
+ *  2. **Timing**: replay the sim backend's command trace through the
  *     TimingChecker; the host's fixed per-command cost model must never
  *     produce an illegal DDR4 command stream.
- *  3. **Accounting**: the module's white-box TRR ground truth (REF
- *     count, TRR events, TRR victim refreshes, per-bank single-row
- *     refreshes) must agree with the reference interpreter's own
- *     straight-line bookkeeping.
- *  4. **Determinism**: a second fresh module + host pair executing the
- *     same program must produce a bit-identical command trace, read set
- *     and end time.
+ *  3. **Accounting**: both backends' accounting surfaces (REF count,
+ *     TRR events, TRR victim refreshes, per-bank single-row refreshes)
+ *     must agree, and the sim module's white-box ground truth must
+ *     agree with its own black-box counters.
+ *  4. **Determinism**: a second fresh sim backend executing the same
+ *     program must produce a bit-identical command trace, read set and
+ *     end time.
+ *  5. **Snapshot**: restoring either backend to its pre-execution
+ *     snapshot and re-executing must reproduce the read set, end time
+ *     and (for sim) the command trace bit-identically — the
+ *     snapshot/fork contract of DESIGN.md §16 under fuzz pressure.
  *
  * Any violation is a real bug in one of the two implementations (or in
  * the spec both encode) — the clean-tree fuzz smoke job pins that the
@@ -52,6 +59,7 @@ struct OracleConfig
     bool checkTiming = true;
     bool checkAccounting = true;
     bool checkDeterminism = true;
+    bool checkSnapshot = true;
 
     /** Extra trace ring slots beyond the static estimate. */
     std::size_t traceMargin = 512;
@@ -64,7 +72,7 @@ struct OracleConfig
 struct OracleViolation
 {
     /** "differential", "timing", "accounting", "determinism",
-     *  "internal". */
+     *  "snapshot", "internal". */
     std::string oracle;
     std::string detail;
 };

@@ -196,4 +196,38 @@ DramBank::refreshRange(Row phys_lo, Row phys_hi, Time now)
     }
 }
 
+DramBank::Snapshot
+DramBank::snapshotState() const
+{
+    Snapshot snap;
+    snap.slotOf = slotOf;
+    // Copying a RowState shares its overrides/flips containers
+    // copy-on-write; the snapshot therefore pins this instant's row
+    // contents without duplicating them, and the live bank clones lazily
+    // on its next mutation of each row.
+    snap.states = states;
+    snap.open = open;
+    snap.acts = acts;
+    snap.rowRefreshes = rowRefreshes;
+    snap.baseRetentionScale = baseRetentionScale;
+    snap.perfCounters = perfCounters;
+    return snap;
+}
+
+void
+DramBank::restoreState(const Snapshot &snap)
+{
+    slotOf = snap.slotOf;
+    states = snap.states;
+    open = snap.open;
+    acts = snap.acts;
+    rowRefreshes = snap.rowRefreshes;
+    baseRetentionScale = snap.baseRetentionScale;
+    perfCounters = snap.perfCounters;
+    // The copied rows still point their perf tallies at whatever bank
+    // the snapshot was taken from; re-home them here.
+    for (RowState &state : states)
+        state.attachPerf(&perfCounters);
+}
+
 } // namespace utrr

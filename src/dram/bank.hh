@@ -107,6 +107,40 @@ class DramBank
      */
     void scaleAllRetention(double factor);
 
+    // ------------------------------------------------------------------
+    // Snapshot / restore (DESIGN.md §16)
+    // ------------------------------------------------------------------
+
+    /**
+     * Everything a bank needs to be rewound to an earlier point. Row
+     * contents stay copy-on-write: copying a RowState shares its
+     * override map and flip list behind shared_ptr, and either side
+     * clones at its next mutation (the PR 5 readout COW extended to
+     * snapshots), so the deep-copied part is only the slot table and
+     * the per-row bookkeeping scalars.
+     */
+    struct Snapshot
+    {
+        std::vector<std::int32_t> slotOf;
+        std::deque<RowState> states;
+        Row open = kInvalidRow;
+        std::uint64_t acts = 0;
+        std::uint64_t rowRefreshes = 0;
+        double baseRetentionScale = 1.0;
+        RowPerfCounters perfCounters;
+    };
+
+    /** Capture this bank's mutable state. */
+    Snapshot snapshotState() const;
+
+    /**
+     * Restore a snapshot taken from this bank or from any bank with the
+     * same (id, physRows, generator) — i.e. the same position in a
+     * module built from the same (spec, seed). Re-attaches every row's
+     * perf tallies to this bank.
+     */
+    void restoreState(const Snapshot &snap);
+
   private:
     void disturbNeighbours(Row aggressor, Time now);
     void disturbOne(Row aggressor, std::uint64_t aggr_word0, Row victim,

@@ -162,6 +162,7 @@ DramModule::ref(Time now)
     // TRR-induced refresh piggybacking on this REF (footnote 3).
     for (const TrrRefreshAction &action : trr->onRefresh()) {
         DramBank &bank = bankAt(action.bank);
+        ++trrEvents;
         gtTrrEvents->inc();
         for (Row victim : victimRowsOf(action.aggressorPhysRow)) {
             if (victim < 0 || victim >= moduleSpec.physRowsPerBank())
@@ -188,6 +189,41 @@ DramModule::gtVictimCounter(Bank bank, Row phys_row)
                  .first;
     }
     return *it->second;
+}
+
+DramModule::Snapshot
+DramModule::snapshot() const
+{
+    Snapshot snap;
+    snap.banks.reserve(banks.size());
+    for (const DramBank &bank : banks)
+        snap.banks.push_back(bank.snapshotState());
+    snap.openLogical = openLogical;
+    snap.engine = engine.snapshotState();
+    snap.trr = trr->clone();
+    snap.refs = refs;
+    snap.trrRefreshes = trrRefreshes;
+    snap.trrEvents = trrEvents;
+    return snap;
+}
+
+void
+DramModule::restore(const Snapshot &snap)
+{
+    UTRR_ASSERT(snap.banks.size() == banks.size(),
+                "snapshot from a different module geometry");
+    for (std::size_t b = 0; b < banks.size(); ++b)
+        banks[b].restoreState(snap.banks[b]);
+    openLogical = snap.openLogical;
+    engine.restoreState(snap.engine);
+    // The snapshot keeps its own TRR clone so it can be restored many
+    // times; each restore installs a fresh clone re-attached to *this*
+    // module's ground-truth store.
+    trr = snap.trr->clone();
+    trr->attachGroundTruth(&gtStore);
+    refs = snap.refs;
+    trrRefreshes = snap.trrRefreshes;
+    trrEvents = snap.trrEvents;
 }
 
 void

@@ -106,6 +106,47 @@ class DramModule
     /** TRR-induced row refreshes performed so far (ground truth). */
     std::uint64_t trrRefreshCount() const { return trrRefreshes; }
 
+    /** TRR refresh actions (detected aggressors) so far. */
+    std::uint64_t trrEventCount() const { return trrEvents; }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore (DESIGN.md §16)
+    // ------------------------------------------------------------------
+
+    /**
+     * A module's complete restorable state: per-bank slot tables and
+     * rows (row contents stay copy-on-write, see DramBank::Snapshot),
+     * open-row registers, the refresh engine's sweep position, a deep
+     * clone of the TRR mechanism and the command counters.
+     *
+     * Not captured: the ground-truth store (a monotone observability
+     * audit trail, not device state — white-box probe comparisons
+     * across a restore are out of scope) and attached metrics handles
+     * (environment). Move-only because of the TRR clone.
+     */
+    struct Snapshot
+    {
+        std::vector<DramBank::Snapshot> banks;
+        std::vector<Row> openLogical;
+        RefreshEngine::Snapshot engine;
+        std::unique_ptr<TrrMechanism> trr;
+        std::uint64_t refs = 0;
+        std::uint64_t trrRefreshes = 0;
+        std::uint64_t trrEvents = 0;
+    };
+
+    /** Capture the module's state at this instant. */
+    Snapshot snapshot() const;
+
+    /**
+     * Rewind to a snapshot. Valid on the module the snapshot was taken
+     * from *and* on any module built from the same (spec, seed) — the
+     * physics generator and mappings are pure functions of those, so
+     * restoring into a fresh instance forks the captured state. One
+     * snapshot can be restored any number of times.
+     */
+    void restore(const Snapshot &snap);
+
     // ------------------------------------------------------------------
     // Fault-injection hooks (see src/fault/). Scaling by exactly 1.0 is
     // bit-identical to no injection.
@@ -169,6 +210,7 @@ class DramModule
     std::unique_ptr<TrrMechanism> trr;
     std::uint64_t refs = 0;
     std::uint64_t trrRefreshes = 0;
+    std::uint64_t trrEvents = 0;
     std::uint64_t masterSeed = 0;
 
     GroundTruthStore gtStore;

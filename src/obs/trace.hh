@@ -67,6 +67,24 @@ class CommandTrace
     CommandTrace() = default;
     explicit CommandTrace(std::size_t capacity) { enable(capacity); }
 
+    /**
+     * Copies re-intern phase names: ring events point into the owning
+     * instance's name pool, so a memberwise copy would leave the new
+     * ring dangling into the old pool. Moves keep the pool (deque
+     * element addresses survive the move), so the defaults are safe.
+     * Copy support is what makes a SoftMcHost snapshot self-contained.
+     */
+    CommandTrace(const CommandTrace &other) { copyFrom(other); }
+    CommandTrace &
+    operator=(const CommandTrace &other)
+    {
+        if (this != &other)
+            copyFrom(other);
+        return *this;
+    }
+    CommandTrace(CommandTrace &&) = default;
+    CommandTrace &operator=(CommandTrace &&) = default;
+
     /** (Re)enable with the given capacity; clears recorded events. */
     void enable(std::size_t capacity);
 
@@ -171,6 +189,9 @@ class CommandTrace
     void noteOverflow();
 
     const char *intern(const std::string &name);
+
+    /** Copy every field, re-pointing phases into this name pool. */
+    void copyFrom(const CommandTrace &other);
 
     std::vector<TraceEvent> ring;
     std::size_t cap = 0;

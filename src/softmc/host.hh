@@ -229,6 +229,36 @@ class SoftMcHost
         stopFlag = flag;
     }
 
+    // --- snapshot / restore (DESIGN.md §16) -----------------------------
+
+    /**
+     * The host's restorable state: simulated clock, command counters,
+     * watchdog arming and the command trace (self-contained copy).
+     * Attached collaborators — metrics, mitigation, fault injector,
+     * stop flag — are environment, not state, and stay attached across
+     * a restore. Pair with DramModule::snapshot() for a full device
+     * snapshot; restoring only one side of the pair tears the clock
+     * away from the module state it produced.
+     */
+    struct Snapshot
+    {
+        Time clock = 0;
+        std::uint64_t acts = 0;
+        std::uint64_t refCmds = 0;
+        Time wdBudget = 0;
+        Time wdDeadline = -1;
+        CommandTrace trace;
+    };
+
+    /** Capture the host's state at this instant. */
+    Snapshot snapshotState() const;
+
+    /**
+     * Rewind to a snapshot (taken from this host or from any host over
+     * a module restored to the matching DramModule::Snapshot).
+     */
+    void restoreState(const Snapshot &snap);
+
     // --- observability --------------------------------------------------
 
     /**

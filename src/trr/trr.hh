@@ -80,6 +80,15 @@ class TrrMechanism
     virtual std::string name() const = 0;
 
     /**
+     * Deep copy of the mechanism's mutable state (tables, samplers,
+     * windows, RNG streams). The clone carries the source's ground-truth
+     * attachment; callers installing a clone into a different chip must
+     * re-attachGroundTruth so the truth handles point at that chip's
+     * store. This is the primitive DramModule snapshots build on.
+     */
+    virtual std::unique_ptr<TrrMechanism> clone() const = 0;
+
+    /**
      * Attach the chip's ground-truth store. The mechanism records its
      * internal truth (detections, table/sampler occupancy) there;
      * experiments can only read it through a counted GroundTruthProbe.
@@ -106,6 +115,11 @@ class NoTrr : public TrrMechanism
     std::vector<TrrRefreshAction> onRefresh() override { return {}; }
     void reset() override {}
     std::string name() const override { return "none"; }
+    std::unique_ptr<TrrMechanism>
+    clone() const override
+    {
+        return std::make_unique<NoTrr>(*this);
+    }
 };
 
 /**

@@ -48,6 +48,7 @@ class VendorATrr : public TrrMechanism
     void onActivate(Bank bank, Row phys_row) override;
     std::vector<TrrRefreshAction> onRefresh() override;
     void reset() override;
+    std::unique_ptr<TrrMechanism> clone() const override;
     std::string name() const override { return "A-counter"; }
 
     /** White-box view of one bank's table (row, counter) pairs. */

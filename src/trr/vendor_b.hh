@@ -52,6 +52,7 @@ class VendorBTrr : public TrrMechanism
     void onActivate(Bank bank, Row phys_row) override;
     std::vector<TrrRefreshAction> onRefresh() override;
     void reset() override;
+    std::unique_ptr<TrrMechanism> clone() const override;
     std::string name() const override { return "B-sampler"; }
 
     /** White-box view of the current sample (chip-wide mode). */

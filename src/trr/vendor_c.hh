@@ -57,6 +57,7 @@ class VendorCTrr : public TrrMechanism
     void onActivate(Bank bank, Row phys_row) override;
     std::vector<TrrRefreshAction> onRefresh() override;
     void reset() override;
+    std::unique_ptr<TrrMechanism> clone() const override;
     std::string name() const override { return "C-window"; }
 
     /** White-box view of one bank's current candidate. */

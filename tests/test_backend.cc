@@ -1,0 +1,539 @@
+/**
+ * @file
+ * DeviceBackend conformance suite (DESIGN.md §16).
+ *
+ * One parameterized battery drives every backend implementation — the
+ * production simulator (SimBackend), the naive shadow interpreter
+ * (ReferenceBackend) and the canned-session replayer
+ * (TraceReplayBackend) — through the same canonical program set and
+ * pins the four points of the interface contract:
+ *
+ *   1. read-back equivalence against a golden simulator execution;
+ *   2. an accounting surface that matches the golden execution;
+ *   3. a timing-legal command trace (when the backend records one);
+ *   4. deterministic re-execution, and bit-identical replay across a
+ *      snapshot/restore round trip.
+ *
+ * A second suite pins the campaign-level payoff of the snapshot work:
+ * identification campaigns reusing cached profiles produce a
+ * deterministicProjection-identical report to from-scratch runs, for
+ * any worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/oracles.hh"
+#include "check/reference_backend.hh"
+#include "core/device_backend.hh"
+#include "core/sim_backend.hh"
+#include "dram/module_spec.hh"
+#include "fault/fault_injector.hh"
+#include "obs/report.hh"
+#include "runner/campaign.hh"
+#include "runner/profile_cache.hh"
+#include "runner/reveng_job.hh"
+#include "softmc/timing_checker.hh"
+
+namespace utrr
+{
+namespace
+{
+
+constexpr std::uint64_t kSeed = 2021;
+
+/**
+ * Canonical program set: one program per physics regime (retention
+ * decay, RowHammer through TRR, word-granular writes under the
+ * refresh sweep), executed in sequence on one backend instance so
+ * state carries across execute() calls.
+ */
+std::vector<Program>
+canonicalPrograms(const ModuleSpec &spec)
+{
+    std::vector<Program> programs;
+    {
+        Program p;
+        for (Row row = 100; row < 106; ++row)
+            p.writeRow(0, row, DataPattern::allOnes());
+        p.wait(msToNs(1'200));
+        for (Row row = 100; row < 106; ++row)
+            p.readRow(0, row);
+        programs.push_back(std::move(p));
+    }
+    {
+        Program p;
+        p.writeRow(0, 500, DataPattern::allOnes());
+        p.writeRow(0, 499, DataPattern::allZeros());
+        p.writeRow(0, 501, DataPattern::allZeros());
+        const int hammers = static_cast<int>(spec.hcFirst);
+        for (int i = 0; i < hammers; ++i) {
+            p.hammer(0, 499, 1);
+            p.hammer(0, 501, 1);
+        }
+        p.ref(32);
+        p.readRow(0, 500);
+        programs.push_back(std::move(p));
+    }
+    {
+        Program p;
+        p.act(1, 300);
+        p.wr(1, DataPattern::random(7));
+        p.wrWord(1, 3, 0xfeedULL);
+        p.pre(1);
+        p.waitWithRefresh(msToNs(150));
+        p.readRow(1, 300);
+        programs.push_back(std::move(p));
+    }
+    return programs;
+}
+
+std::size_t
+traceCapacityFor(const std::vector<Program> &programs)
+{
+    std::size_t cap = 512;
+    for (const Program &program : programs)
+        cap += estimateTraceEvents(program, Timing{});
+    return cap;
+}
+
+enum class BackendKind
+{
+    kSim,
+    kReference,
+    kReplay,
+};
+
+std::string
+kindName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::kSim:
+        return "Sim";
+      case BackendKind::kReference:
+        return "Reference";
+      case BackendKind::kReplay:
+        return "Replay";
+    }
+    return "?";
+}
+
+/**
+ * Build a fresh backend of @p kind over (spec, kSeed). The replay
+ * backend is recorded from a fresh simulator run of @p programs — the
+ * stand-in for a hardware session whose responses arrive as data.
+ */
+std::unique_ptr<DeviceBackend>
+makeBackend(BackendKind kind, const ModuleSpec &spec,
+            const std::vector<Program> &programs)
+{
+    switch (kind) {
+      case BackendKind::kSim: {
+          auto backend = std::make_unique<SimBackend>(spec, kSeed);
+          backend->host().trace().enable(traceCapacityFor(programs));
+          return backend;
+      }
+      case BackendKind::kReference:
+          return std::make_unique<ReferenceBackend>(spec, kSeed);
+      case BackendKind::kReplay: {
+          SimBackend source(spec, kSeed);
+          source.host().trace().enable(traceCapacityFor(programs));
+          return std::make_unique<TraceReplayBackend>(
+              recordExecutions(source, programs));
+      }
+    }
+    return nullptr;
+}
+
+void
+expectAccountingEq(const BackendAccounting &got,
+                   const BackendAccounting &want)
+{
+    EXPECT_EQ(got.refs, want.refs);
+    EXPECT_EQ(got.trrEvents, want.trrEvents);
+    EXPECT_EQ(got.trrVictimRefreshes, want.trrVictimRefreshes);
+    ASSERT_EQ(got.rowRefreshes.size(), want.rowRefreshes.size());
+    for (std::size_t b = 0; b < got.rowRefreshes.size(); ++b)
+        EXPECT_EQ(got.rowRefreshes[b], want.rowRefreshes[b])
+            << "bank " << b;
+}
+
+class BackendConformance
+    : public ::testing::TestWithParam<BackendKind>
+{
+  protected:
+    const ModuleSpec spec = *findModuleSpec("A0");
+    const std::vector<Program> programs = canonicalPrograms(spec);
+
+    std::unique_ptr<DeviceBackend>
+    make() const
+    {
+        return makeBackend(GetParam(), spec, programs);
+    }
+};
+
+TEST_P(BackendConformance, ReadbackMatchesGoldenSim)
+{
+    // Contract point 1: program in, the exact reads a golden simulator
+    // execution captures out — bank, row, time and every word.
+    SimBackend golden(spec, kSeed);
+    const std::unique_ptr<DeviceBackend> backend = make();
+    ASSERT_EQ(backend->spec().name, spec.name);
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        SCOPED_TRACE("program " + std::to_string(i));
+        const BackendResult want = golden.execute(programs[i]);
+        const BackendResult got = backend->execute(programs[i]);
+        ASSERT_EQ(got.reads.size(), want.reads.size());
+        for (std::size_t r = 0; r < got.reads.size(); ++r)
+            EXPECT_TRUE(got.reads[r] == want.reads[r]) << "read " << r;
+        EXPECT_EQ(got.endTime, want.endTime);
+        EXPECT_EQ(hashBackendReads(got), hashBackendReads(want));
+        EXPECT_EQ(backend->now(), golden.now());
+    }
+}
+
+TEST_P(BackendConformance, AccountingMatchesGoldenSim)
+{
+    // Contract point 2: the accounting surface after every execution
+    // equals the golden simulator's, and REF counts grow monotonically.
+    SimBackend golden(spec, kSeed);
+    const std::unique_ptr<DeviceBackend> backend = make();
+    std::uint64_t last_refs = 0;
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        SCOPED_TRACE("program " + std::to_string(i));
+        golden.execute(programs[i]);
+        backend->execute(programs[i]);
+        const BackendAccounting got = backend->accounting();
+        expectAccountingEq(got, golden.accounting());
+        EXPECT_GE(got.refs, last_refs);
+        last_refs = got.refs;
+    }
+    EXPECT_GT(last_refs, 0u);
+}
+
+TEST_P(BackendConformance, TraceIsTimingLegalWhenRecorded)
+{
+    // Contract point 3: traceEvents() may be empty (the reference
+    // interpreter records none); when present, the stream must satisfy
+    // the DDR4 timing checker.
+    const std::unique_ptr<DeviceBackend> backend = make();
+    for (const Program &program : programs)
+        backend->execute(program);
+    const std::vector<TraceEvent> events = backend->traceEvents();
+    if (events.empty()) {
+        SUCCEED() << backend->name() << " records no trace";
+        return;
+    }
+    TimingChecker checker(Timing{}, spec.banks);
+    for (const TraceEvent &event : events) {
+        switch (event.kind) {
+          case TraceKind::kAct:
+            checker.onAct(event.bank, event.row, event.start);
+            break;
+          case TraceKind::kPre:
+            checker.onPre(event.bank, event.start);
+            break;
+          case TraceKind::kWr:
+            checker.onWrite(event.bank, event.start);
+            break;
+          case TraceKind::kRd:
+            checker.onRead(event.bank, event.start);
+            break;
+          case TraceKind::kRef:
+            checker.onRef(event.start);
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_TRUE(checker.clean())
+        << checker.violations().size() << " timing violations; first: "
+        << checker.violations().front().rule << " "
+        << checker.violations().front().detail;
+}
+
+TEST_P(BackendConformance, DeterministicAcrossInstances)
+{
+    // Contract point 1 (determinism half): two instances built the
+    // same way produce byte-identical results program by program.
+    const std::unique_ptr<DeviceBackend> first = make();
+    const std::unique_ptr<DeviceBackend> second = make();
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        SCOPED_TRACE("program " + std::to_string(i));
+        const BackendResult a = first->execute(programs[i]);
+        const BackendResult b = second->execute(programs[i]);
+        EXPECT_EQ(hashBackendReads(a), hashBackendReads(b));
+        EXPECT_EQ(a.endTime, b.endTime);
+    }
+    expectAccountingEq(first->accounting(), second->accounting());
+}
+
+TEST_P(BackendConformance, SnapshotRoundTripMidSequence)
+{
+    // Contract point 4: snapshot after program 0, run the rest, then
+    // restore — the remaining programs must replay bit-identically.
+    const std::unique_ptr<DeviceBackend> backend = make();
+    ASSERT_TRUE(backend->supportsSnapshot());
+    backend->execute(programs[0]);
+    const std::uint64_t token = backend->snapshot();
+
+    std::vector<std::uint64_t> hashes;
+    std::vector<Time> ends;
+    for (std::size_t i = 1; i < programs.size(); ++i) {
+        const BackendResult result = backend->execute(programs[i]);
+        hashes.push_back(hashBackendReads(result));
+        ends.push_back(result.endTime);
+    }
+    const BackendAccounting final_acc = backend->accounting();
+
+    backend->restore(token);
+    for (std::size_t i = 1; i < programs.size(); ++i) {
+        SCOPED_TRACE("replayed program " + std::to_string(i));
+        const BackendResult result = backend->execute(programs[i]);
+        EXPECT_EQ(hashBackendReads(result), hashes[i - 1]);
+        EXPECT_EQ(result.endTime, ends[i - 1]);
+    }
+    expectAccountingEq(backend->accounting(), final_acc);
+
+    // A token may be restored any number of times; dropping it ends
+    // its lifetime.
+    backend->restore(token);
+    backend->dropSnapshot(token);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendConformance,
+    ::testing::Values(BackendKind::kSim, BackendKind::kReference,
+                      BackendKind::kReplay),
+    [](const ::testing::TestParamInfo<BackendKind> &info) {
+        return kindName(info.param);
+    });
+
+// ---------------------------------------------------------------------
+// Replay-specific contract: divergence is a hard error.
+// ---------------------------------------------------------------------
+
+TEST(TraceReplay, DivergedProgramIsRejected)
+{
+    const ModuleSpec spec = *findModuleSpec("A0");
+    const std::vector<Program> programs = canonicalPrograms(spec);
+    SimBackend source(spec, kSeed);
+    TraceReplayBackend replay(recordExecutions(source, programs));
+
+    Program diverged;
+    diverged.readRow(0, 1); // not what was recorded
+    EXPECT_THROW(replay.execute(diverged), std::runtime_error);
+
+    // The cursor did not advance: the recorded program still replays.
+    const BackendResult result = replay.execute(programs[0]);
+    EXPECT_FALSE(result.reads.empty());
+}
+
+TEST(TraceReplay, ExhaustedRecordingIsRejected)
+{
+    const ModuleSpec spec = *findModuleSpec("A0");
+    const std::vector<Program> programs = canonicalPrograms(spec);
+    SimBackend source(spec, kSeed);
+    TraceReplayBackend replay(recordExecutions(source, programs));
+    for (const Program &program : programs)
+        replay.execute(program);
+    EXPECT_EQ(replay.position(), replay.size());
+    EXPECT_THROW(replay.execute(programs[0]), std::runtime_error);
+}
+
+TEST(TraceReplay, RecordingOwnsItsTraceLabels)
+{
+    // The recording must stay valid after the source backend dies:
+    // interned trace labels are re-homed into the recording's own
+    // pool. Fault markers are the label-carrying events that land
+    // inside an execution's trace delta, so force one per WR.
+    const ModuleSpec spec = *findModuleSpec("A0");
+    Program p;
+    p.writeRow(0, 7, DataPattern::allOnes());
+    p.readRow(0, 7);
+
+    BackendRecording recording;
+    {
+        SimBackend source(spec, kSeed);
+        source.host().trace().enable(4'096);
+        FaultConfig faults;
+        faults.dropWrChance = 1.0;
+        FaultInjector injector(faults, 5);
+        source.host().attachFaultInjector(&injector);
+        recording = recordExecutions(source, {p});
+        source.host().attachFaultInjector(nullptr);
+    }
+
+    TraceReplayBackend replay(std::move(recording));
+    replay.execute(p);
+    bool saw_label = false;
+    for (const TraceEvent &event : replay.traceEvents()) {
+        if (event.kind == TraceKind::kFault) {
+            ASSERT_NE(event.phase, nullptr);
+            EXPECT_EQ(std::string(event.phase), "drop_wr");
+            saw_label = true;
+        }
+    }
+    EXPECT_TRUE(saw_label);
+}
+
+// ---------------------------------------------------------------------
+// Profile reuse: the campaign-level acceptance criterion.
+// ---------------------------------------------------------------------
+
+/** Full-size specs (shrunk modules lose their RRR-RRR groups). */
+std::vector<ModuleSpec>
+reuseSpecs()
+{
+    return {*findModuleSpec("A5"), *findModuleSpec("B2")};
+}
+
+/** Narrowed like test_runner's subset config: the suite re-identifies
+ *  each module several times, full battery windows would dominate the
+ *  tier-1 wall clock. */
+IdentifyJobConfig
+reuseIdentifyConfig()
+{
+    IdentifyJobConfig config = IdentifyJobConfig::battery();
+    config.reveng.scoutRowEnd = 2 * 1024;
+    config.reveng.wideScoutRowEnd = 16 * 1024;
+    config.reveng.consistencyChecks = 8;
+    config.reveng.periodIterations = 32;
+    return config;
+}
+
+CampaignResult
+runBattery(int jobs, ProfileCache *cache)
+{
+    CampaignConfig cfg;
+    cfg.jobs = jobs;
+    cfg.seed = 7;
+    cfg.profileCache = cache;
+    CampaignRunner runner(cfg);
+    return runner.run(reuseSpecs(),
+                      makeIdentifyJob(reuseIdentifyConfig()));
+}
+
+std::string
+projectedReport(const CampaignResult &result)
+{
+    ExperimentReport report("backend_profile_reuse");
+    result.fillReport(report);
+    return deterministicProjection(report.json()).dump();
+}
+
+TEST(ProfileReuse, CachedCampaignReportMatchesFromScratch)
+{
+    // First campaign populates the cache; the second restores every
+    // profile. Its report must be deterministicProjection-identical to
+    // a from-scratch (cache-free) campaign — the acceptance criterion
+    // for snapshot-based profile reuse.
+    ProfileCache cache;
+    runBattery(1, &cache);
+    ASSERT_EQ(cache.stats().misses, 2u);
+    ASSERT_EQ(cache.stats().hits, 0u);
+
+    const CampaignResult reused = runBattery(1, &cache);
+    EXPECT_EQ(cache.stats().hits, 2u);
+
+    const CampaignResult scratch = runBattery(1, nullptr);
+    EXPECT_TRUE(scratch.allOk());
+    EXPECT_TRUE(reused.allOk());
+    EXPECT_EQ(projectedReport(reused), projectedReport(scratch));
+}
+
+TEST(ProfileReuse, VerdictsIdenticalForAnyWorkerCount)
+{
+    // The "for any --jobs N" half: cached campaigns keep the runner's
+    // scheduling-independence guarantee.
+    ProfileCache cache_serial;
+    runBattery(1, &cache_serial);
+    const CampaignResult serial = runBattery(1, &cache_serial);
+
+    ProfileCache cache_parallel;
+    runBattery(4, &cache_parallel);
+    const CampaignResult parallel = runBattery(4, &cache_parallel);
+
+    EXPECT_EQ(serial.verdicts().dump(), parallel.verdicts().dump());
+    EXPECT_EQ(serial.verdicts().dump(),
+              runBattery(1, nullptr).verdicts().dump());
+}
+
+TEST(ProfileReuse, FaultInjectionBypassesCache)
+{
+    // profiled() must not consult the cache when an injector is
+    // attached: injector RNG draws during profiling cannot be replayed
+    // by a restore.
+    ProfileCache cache;
+    CampaignConfig cfg;
+    cfg.jobs = 1;
+    cfg.seed = 3;
+    cfg.faults.vrtFlipChancePerRead = 1e-3;
+    cfg.profileCache = &cache;
+    CampaignRunner runner(cfg);
+
+    int body_runs = 0;
+    const JobFn job = [&body_runs](JobContext &ctx) {
+        ctx.profiled("bypass:v1", [&]() {
+            ++body_runs;
+            return Json(42);
+        });
+        JobOutcome out;
+        out.ok = true;
+        out.verdict = Json::object();
+        return out;
+    };
+    const std::vector<ModuleSpec> specs = {*findModuleSpec("A0")};
+    runner.run(specs, job);
+    runner.run(specs, job);
+
+    EXPECT_EQ(body_runs, 2);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().hits + cache.stats().misses, 0u);
+}
+
+TEST(ProfileReuse, HitRestoresDeviceAndPayload)
+{
+    // The hit path restores module + host + metrics and returns the
+    // cached payload: a job observing its own device state cannot tell
+    // a hit from having just profiled.
+    ProfileCache cache;
+    CampaignConfig cfg;
+    cfg.jobs = 1;
+    cfg.seed = 11;
+    cfg.profileCache = &cache;
+    CampaignRunner runner(cfg);
+
+    const JobFn job = [](JobContext &ctx) {
+        const Json payload = ctx.profiled("state:v1", [&]() {
+            ctx.host.writeRow(0, 123, DataPattern::allOnes());
+            ctx.host.refBurst(3);
+            Json out = Json::object();
+            out["stamp"] =
+                Json(static_cast<std::int64_t>(ctx.host.now()));
+            return out;
+        });
+        JobOutcome out;
+        out.ok = true;
+        Json verdict = Json::object();
+        verdict["payload_stamp"] = *payload.find("stamp");
+        verdict["now"] =
+            Json(static_cast<std::int64_t>(ctx.host.now()));
+        verdict["refs"] = Json(ctx.module.refCount());
+        out.verdict = std::move(verdict);
+        return out;
+    };
+    const std::vector<ModuleSpec> specs = {*findModuleSpec("A0")};
+    const CampaignResult miss = runner.run(specs, job);
+    const CampaignResult hit = runner.run(specs, job);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(miss.verdicts().dump(), hit.verdicts().dump());
+}
+
+} // namespace
+} // namespace utrr

@@ -4,11 +4,14 @@
 #include <set>
 
 #include "attack/synth.hh"
+#include "check/fuzzer.hh"
 #include "common/rng.hh"
+#include "core/sim_backend.hh"
 #include "dram/refresh_engine.hh"
 #include "ecc/chipkill.hh"
 #include "ecc/reed_solomon.hh"
 #include "ecc/secded.hh"
+#include "fault/fault_injector.hh"
 #include "runner/reveng_job.hh"
 #include "trr/vendor_a.hh"
 #include "trr/vendor_b.hh"
@@ -505,6 +508,177 @@ TEST(SynthProperty, MinimizedWinnerKeepsItsVerdict)
         EXPECT_GT(result.verifyFlips, 0) << name;
         EXPECT_LE(result.elementsAfter, result.elementsBefore) << name;
         EXPECT_EQ("", validatePattern(result.best)) << name;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot/fork (DESIGN.md §16): fork isolation, restore bit-identity
+// under chaos faults, and path-independence at random program points.
+// ---------------------------------------------------------------------
+
+void
+expectSameAccounting(const BackendAccounting &got,
+                     const BackendAccounting &want)
+{
+    EXPECT_EQ(got.refs, want.refs);
+    EXPECT_EQ(got.trrEvents, want.trrEvents);
+    EXPECT_EQ(got.trrVictimRefreshes, want.trrVictimRefreshes);
+    EXPECT_EQ(got.rowRefreshes, want.rowRefreshes);
+}
+
+// Mutating a fork must never perturb the parent: the parent's
+// subsequent execution stays bit-identical (reads + command trace) to
+// an identically built twin that never forked at all.
+TEST(SnapshotProperty, ForkMutationNeverPerturbsParent)
+{
+    const ModuleSpec spec = *findModuleSpec("A0");
+
+    Program setup;
+    for (Row row = 40; row < 48; ++row)
+        setup.writeRow(0, row, DataPattern::checkerboard());
+    setup.waitWithRefresh(msToNs(30));
+
+    Program probe;
+    probe.hammer(0, 44, 2'000);
+    probe.ref(8);
+    for (Row row = 40; row < 48; ++row)
+        probe.readRow(0, row);
+
+    SimBackend parent(spec, 2021);
+    parent.host().trace().enable(1 << 16);
+    SimBackend twin(spec, 2021);
+    twin.host().trace().enable(1 << 16);
+    parent.execute(setup);
+    twin.execute(setup);
+
+    // Fork, then trash exactly the state the parent is about to probe:
+    // overwrite its rows, hammer its aggressor, let the fork decay.
+    const DeviceSnapshot snap = parent.captureDevice();
+    const std::unique_ptr<SimBackend> child = parent.fork(snap);
+    Program vandalism;
+    for (Row row = 40; row < 48; ++row)
+        vandalism.writeRow(0, row, DataPattern::random(3));
+    vandalism.hammer(0, 44, 5'000);
+    vandalism.wait(msToNs(400));
+    for (Row row = 40; row < 48; ++row)
+        vandalism.readRow(0, row);
+    child->execute(vandalism);
+
+    const BackendResult parent_probe = parent.execute(probe);
+    const BackendResult twin_probe = twin.execute(probe);
+    EXPECT_EQ(hashBackendReads(parent_probe),
+              hashBackendReads(twin_probe));
+    EXPECT_EQ(parent_probe.endTime, twin_probe.endTime);
+    EXPECT_EQ(parent.host().trace().contentHash(),
+              twin.host().trace().contentHash());
+    expectSameAccounting(parent.accounting(), twin.accounting());
+}
+
+// Snapshot -> mutate -> restore must be bit-identical even when chaos
+// faults fired on both sides of the snapshot: the restored device
+// carries the pre-snapshot fault damage (VRT modes, temperature
+// scale), and a same-seeded injector replays the post-snapshot stream
+// exactly.
+TEST(SnapshotProperty, RestoreIsBitIdenticalUnderChaosFaults)
+{
+    const ModuleSpec spec = *findModuleSpec("B2");
+    const FaultConfig chaos = FaultConfig::chaosDefaults();
+
+    SimBackend sim(spec, 2021);
+    sim.host().trace().enable(1 << 17);
+
+    Program setup;
+    for (Row row = 60; row < 66; ++row)
+        setup.writeRow(0, row, DataPattern::allOnes());
+    setup.hammer(0, 63, 8'000);
+    setup.waitWithRefresh(msToNs(100));
+
+    Program probe;
+    probe.hammer(0, 62, 6'000);
+    probe.waitWithRefresh(msToNs(80));
+    for (Row row = 60; row < 66; ++row)
+        probe.readRow(0, row);
+
+    FaultInjector warm(chaos, 7);
+    sim.host().attachFaultInjector(&warm);
+    sim.execute(setup);
+    sim.host().attachFaultInjector(nullptr);
+    // The snapshot state itself is fault-damaged, not pristine.
+    EXPECT_GT(warm.stats().jitteredRefs + warm.stats().tempSteps, 0u);
+
+    const std::uint64_t token = sim.snapshot();
+
+    FaultInjector first(chaos, 99);
+    sim.host().attachFaultInjector(&first);
+    const BackendResult a = sim.execute(probe);
+    sim.host().attachFaultInjector(nullptr);
+    const std::uint64_t trace_a = sim.host().trace().contentHash();
+    const BackendAccounting acc_a = sim.accounting();
+    EXPECT_GT(first.stats().jitteredRefs + first.stats().tempSteps, 0u);
+
+    sim.restore(token);
+    FaultInjector second(chaos, 99); // identical fault stream
+    sim.host().attachFaultInjector(&second);
+    const BackendResult b = sim.execute(probe);
+    sim.host().attachFaultInjector(nullptr);
+
+    EXPECT_EQ(hashBackendReads(a), hashBackendReads(b));
+    EXPECT_EQ(a.endTime, b.endTime);
+    EXPECT_EQ(sim.host().trace().contentHash(), trace_a);
+    expectSameAccounting(sim.accounting(), acc_a);
+    EXPECT_EQ(first.stats().vrtFlips, second.stats().vrtFlips);
+    EXPECT_EQ(first.stats().noiseBits, second.stats().noiseBits);
+    EXPECT_EQ(first.stats().jitteredRefs, second.stats().jitteredRefs);
+    EXPECT_EQ(first.stats().droppedCommands(),
+              second.stats().droppedCommands());
+    EXPECT_EQ(first.stats().tempSteps, second.stats().tempSteps);
+}
+
+// Fuzz round: for random programs cut at random instruction
+// boundaries, a snapshot/restore round trip at the cut point is
+// invisible — the continuation replays bit-identically and the split
+// execution matches the straight-through one.
+TEST(SnapshotProperty, SnapshotRestoreAtRandomPointsIsPathIndependent)
+{
+    const ModuleSpec spec = *findModuleSpec("A0");
+    const ProgramFuzzer fuzzer(spec);
+    Rng rng(2024);
+
+    for (std::uint64_t index = 0; index < 6; ++index) {
+        SCOPED_TRACE("fuzz program " + std::to_string(index));
+        const Program whole = fuzzer.generate(11, index);
+        const std::size_t cut = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<int>(whole.size())));
+        Program head;
+        Program tail;
+        for (std::size_t i = 0; i < whole.size(); ++i)
+            (i < cut ? head : tail).push(whole.instructions()[i]);
+
+        SimBackend straight(spec, 2021);
+        const BackendResult all = straight.execute(whole);
+
+        SimBackend snapped(spec, 2021);
+        const BackendResult head_result = snapped.execute(head);
+        const std::uint64_t token = snapped.snapshot();
+        const BackendResult tail_first = snapped.execute(tail);
+        snapped.restore(token);
+        const BackendResult tail_replay = snapped.execute(tail);
+
+        // The round trip is invisible to the continuation...
+        EXPECT_EQ(hashBackendReads(tail_first),
+                  hashBackendReads(tail_replay));
+        EXPECT_EQ(tail_first.endTime, tail_replay.endTime);
+
+        // ...and the split run equals the straight-through run.
+        BackendResult combined;
+        combined.reads = head_result.reads;
+        combined.reads.insert(combined.reads.end(),
+                              tail_replay.reads.begin(),
+                              tail_replay.reads.end());
+        EXPECT_EQ(hashBackendReads(combined), hashBackendReads(all));
+        EXPECT_EQ(tail_replay.endTime, all.endTime);
+        expectSameAccounting(snapped.accounting(),
+                             straight.accounting());
     }
 }
 
