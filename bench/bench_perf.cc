@@ -44,6 +44,7 @@
 #include "obs/report.hh"
 #include "runner/journal.hh"
 #include "runner/reveng_job.hh"
+#include "softmc/compiler.hh"
 #include "softmc/host.hh"
 
 namespace
@@ -69,6 +70,60 @@ BM_HammerLoop(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1'000);
 }
 BENCHMARK(BM_HammerLoop);
+
+void
+BM_ProgramCompile(benchmark::State &state)
+{
+    // Lowering cost of a representative reverse-engineering program
+    // (hammer loops, whole-row accesses, REF runs) through
+    // ProgramCompiler; items = source instructions lowered.
+    Program program;
+    for (int round = 0; round < 64; ++round) {
+        program.writeRow(0, 500 + round, DataPattern::allOnes());
+        program.hammer(0, 499, 1'000);
+        program.hammer(0, 501, 1'000);
+        program.ref(16);
+        program.readRow(0, 500 + round);
+    }
+    for (auto _ : state) {
+        CompiledProgram compiled = ProgramCompiler::compile(program);
+        benchmark::DoNotOptimize(compiled);
+    }
+    state.SetItemsProcessed(state.iterations() * program.size());
+}
+BENCHMARK(BM_ProgramCompile);
+
+void
+BM_CompiledHammer(benchmark::State &state)
+{
+    // Steady-state throughput of the compiled tier on a pre-lowered
+    // hammer program: one kHammer batch op per 1000-ACT burst, applied
+    // through DramBank::applyActivationBurst. Compile cost excluded —
+    // the delta against BM_HammerLoopInterpreted is the fusion win.
+    DramModule module(benchSpec(TrrVersion::kNone), 1);
+    SoftMcHost host(module);
+    Program program;
+    program.hammer(0, 5'000, 1'000);
+    const CompiledProgram compiled = ProgramCompiler::compile(program);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(host.executeCompiled(compiled));
+    state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_CompiledHammer);
+
+void
+BM_HammerLoopInterpreted(benchmark::State &state)
+{
+    // BM_HammerLoop with the fused batch path disabled: one ACT+PRE
+    // dispatch per cycle, the pre-§17 reference behaviour.
+    DramModule module(benchSpec(TrrVersion::kNone), 1);
+    SoftMcHost host(module);
+    host.setExecMode(ExecMode::kInterpreted);
+    for (auto _ : state)
+        host.hammer(0, 5'000, 1'000);
+    state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_HammerLoopInterpreted);
 
 void
 BM_HammerLoopProfiled(benchmark::State &state)
@@ -144,6 +199,29 @@ BM_RetentionScan(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_RetentionScan)->Arg(1'024)->Arg(8'192);
+
+void
+BM_RetentionScanInterpreted(benchmark::State &state)
+{
+    // Interpreted-tier pair of BM_RetentionScan. The scan path is
+    // wait/write/read dominated (no hammer bursts), so the two tiers
+    // should stay within noise of each other — a growing gap here
+    // means non-hammer work leaked onto the batch path.
+    DramModule module(benchSpec(TrrVersion::kNone), 2);
+    SoftMcHost host(module);
+    host.setExecMode(ExecMode::kInterpreted);
+    RowScoutConfig cfg;
+    cfg.rowEnd = static_cast<Row>(state.range(0));
+    cfg.consistencyChecks = 10;
+    RowScout scout(host,
+                   DiscoveredMapping::identity(
+                       module.spec().rowsPerBank),
+                   cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scout.scanFailingRows(msToNs(500)));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RetentionScanInterpreted)->Arg(1'024);
 
 void
 BM_RetentionScanProfiled(benchmark::State &state)
@@ -251,6 +329,32 @@ BM_AttackPosition(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 512); // REF slots
 }
 BENCHMARK(BM_AttackPosition);
+
+void
+BM_AttackPositionInterpreted(benchmark::State &state)
+{
+    // Interpreted-tier pair of BM_AttackPosition: the evaluator's
+    // hammer rounds fall back to per-ACT dispatch. The ratio against
+    // BM_AttackPosition is the compiled tier's end-to-end win on the
+    // Fig. 9 inner loop (acceptance bar: >= 3x).
+    const ModuleSpec spec = *findModuleSpec("A5");
+    DramModule module(spec, 3);
+    SoftMcHost host(module);
+    host.setExecMode(ExecMode::kInterpreted);
+    const DiscoveredMapping mapping(spec.scramble, spec.rowsPerBank);
+    const CustomPatternParams params = defaultCustomParams(spec);
+    AttackEvaluator evaluator(host);
+    Row anchor = 1'000;
+    for (auto _ : state) {
+        auto pattern =
+            makeCustomPattern(params, host, mapping, 0, anchor);
+        benchmark::DoNotOptimize(evaluator.run(
+            *pattern, {{0, mapping.toLogical(anchor)}}, 512));
+        anchor += 64;
+    }
+    state.SetItemsProcessed(state.iterations() * 512); // REF slots
+}
+BENCHMARK(BM_AttackPositionInterpreted);
 
 void
 BM_SnapshotFork(benchmark::State &state)

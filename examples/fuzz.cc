@@ -31,6 +31,7 @@
 #include "dram/module_spec.hh"
 #include "runner/cancellation.hh"
 #include "softmc/assembler.hh"
+#include "softmc/host.hh"
 #include "trr/trr.hh"
 
 using namespace utrr;
@@ -52,6 +53,8 @@ usage()
         "  --max-hammer N       cap hammer burst length\n"
         "  --long-waits         always use long decay windows\n"
         "  --no-minimize        keep findings unminimized\n"
+        "  --no-compile         run programs through the interpreter\n"
+        "                       (reference tier, DESIGN.md §17)\n"
         "  --journal FILE       crash-safe write-ahead result journal\n"
         "  --resume             reload finished checks from --journal\n"
         "  --corpus-dir DIR     save minimized repros as DIR/*.prog\n"
@@ -138,6 +141,8 @@ main(int argc, char **argv)
             options.fuzz.longWaitChance = 1.0;
         } else if (arg == "--no-minimize") {
             options.minimize = false;
+        } else if (arg == "--no-compile") {
+            SoftMcHost::setDefaultExecMode(ExecMode::kInterpreted);
         } else if (arg == "--journal") {
             options.journalPath = next();
         } else if (arg == "--resume") {

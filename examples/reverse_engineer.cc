@@ -8,7 +8,13 @@
  *                         [--chaos SEED] [--jobs N] [--profile]
  *                         [--profile-folded FILE] [--telemetry FILE]
  *                         [--telemetry-fsync] [--journal FILE]
- *                         [--resume]
+ *                         [--resume] [--no-compile]
+ *
+ * With --no-compile, every program executes through the one-command-
+ * at-a-time interpreter instead of the compiled tier (DESIGN.md §17) —
+ * slower but the reference semantics, useful when bisecting a
+ * suspected compiled/interpreted divergence. Verdicts are identical
+ * either way.
  *
  * With --trace, every DDR command of the session is recorded (bounded
  * ring buffer) and written as Chrome trace_event JSON — open the file
@@ -399,6 +405,10 @@ main(int argc, char **argv)
             if (i + 1 >= argc)
                 usageError("--report needs a file argument");
             report_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--no-compile") == 0) {
+            // Debugging escape hatch (DESIGN.md §17): run every
+            // program through the interpreter reference tier.
+            SoftMcHost::setDefaultExecMode(ExecMode::kInterpreted);
         } else if (std::strcmp(argv[i], "--battery") == 0) {
             battery = true;
         } else if (std::strcmp(argv[i], "--chaos") == 0) {

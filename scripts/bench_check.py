@@ -7,9 +7,18 @@ BENCH_perf.json against the committed baseline:
   * ratio > WARN_RATIO (1.3x slower)  -> warning, exit 0
   * ratio > FAIL_RATIO (2.0x slower)  -> listed as FAIL, exit 1
 
-Benchmarks present in only one of the two files are reported but never
-fatal (the baseline refresh lands in the same commit as a new
-benchmark). Campaign wall-clock results (``runner_*``) are informational
+Benchmarks present in only one of the two files are reported per line
+and enumerated explicitly in the summary, but are never fatal (the
+baseline refresh lands in the same commit as a new benchmark).
+
+Comparisons use wall-clock ``real_ns`` from runs on whatever host
+produced each file, so host load shifts every ratio together: the
+committed baseline once recorded BM_RetentionScan/8192 at 2.9 ms where
+a quiet host measures ~1.8 ms, and every other benchmark in that same
+round drifted by a similar 1.25-1.6x factor. Before trusting a FAIL,
+check whether the slowdown is broad (all rows shifted -> noisy host,
+re-run on a quiet machine) or isolated to a few benchmarks (a real
+regression in that path). Campaign wall-clock results (``runner_*``) are informational
 only: they depend on the host's core count, so they are printed when
 present but never gate. When the producing run sets
 ``parallel_unmeasured`` (single-core host), the speedup line becomes an
@@ -63,8 +72,11 @@ def main():
 
     failures = []
     warnings = []
+    removed = []
+    added = sorted(set(fresh) - set(base))
     for name in sorted(base):
         if name not in fresh:
+            removed.append(name)
             print(f"  [gone] {name}: in baseline only (skipped)")
             continue
         ratio = fresh[name] / base[name]
@@ -77,8 +89,19 @@ def main():
             warnings.append(name)
         print(f"  [{status:>4}] {name}: {base[name]:.0f} ns -> "
               f"{fresh[name]:.0f} ns ({ratio:.2f}x)")
-    for name in sorted(set(fresh) - set(base)):
+    for name in added:
         print(f"  [new ] {name}: {fresh[name]:.0f} ns (no baseline)")
+
+    # Coverage changes are easy to miss in the per-line stream, so the
+    # summary enumerates them explicitly: a silently vanished benchmark
+    # is a regression of the guard itself, and a new one is the cue to
+    # refresh the committed baseline in the same commit.
+    if added:
+        print(f"bench_check: {len(added)} new benchmark(s) without a "
+              f"baseline: {', '.join(added)}")
+    if removed:
+        print(f"bench_check: {len(removed)} benchmark(s) removed from "
+              f"the fresh run: {', '.join(removed)}")
 
     results = fresh_doc.get("results", {})
     speedup = results.get("runner_speedup")

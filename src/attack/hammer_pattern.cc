@@ -330,6 +330,17 @@ planSlot(const HammerPattern &pattern, std::uint64_t slot,
          const Timing &timing)
 {
     SlotPlan plan;
+    planSlotInto(pattern, slot, timing, plan);
+    return plan;
+}
+
+void
+planSlotInto(const HammerPattern &pattern, std::uint64_t slot,
+             const Timing &timing, SlotPlan &plan)
+{
+    plan.bursts.clear();
+    plan.actsOwnBank = 0;
+    plan.timePlanned = 0;
     const Time slot_budget = timing.tREFI - timing.tRFC;
     int acts_left = timing.hammersPerRefi();
     Time time_used = 0;
@@ -381,7 +392,6 @@ planSlot(const HammerPattern &pattern, std::uint64_t slot,
         }
     }
     plan.timePlanned = time_used;
-    return plan;
 }
 
 Program
@@ -481,15 +491,16 @@ SynthesizedPattern::name() const
 void
 SynthesizedPattern::runSlot(SoftMcHost &host, std::uint64_t slot)
 {
-    const SlotPlan plan = planSlot(pat, slot, timing);
-    for (const BurstPlan &burst : plan.bursts) {
+    planSlotInto(pat, slot, timing, slotScratch);
+    for (const BurstPlan &burst : slotScratch.bursts) {
         const PatternElement &e = pat.elements[burst.element];
         if (e.kind == ElementKind::kAggressors) {
             if (e.rows >= 2 && bind.aggressors.size() >= 2) {
-                host.hammerInterleaved(
-                    {{bind.bank, bind.aggressors[0]},
-                     {bind.bank, bind.aggressors[1]}},
+                rowScratch.assign({{bind.bank, bind.aggressors[0]},
+                                   {bind.bank, bind.aggressors[1]}});
+                countScratch.assign(
                     {burst.hammersPerRow, burst.hammersPerRow});
+                host.hammerInterleaved(rowScratch, countScratch);
             } else {
                 host.hammer(bind.bank, bind.aggressors[0],
                             burst.hammersPerRow);
@@ -501,14 +512,14 @@ SynthesizedPattern::runSlot(SoftMcHost &host, std::uint64_t slot)
                             burst.hammersPerRow);
             }
         } else {
-            std::vector<std::pair<Bank, Row>> rows;
-            rows.reserve(static_cast<std::size_t>(e.banks));
+            rowScratch.clear();
+            rowScratch.reserve(static_cast<std::size_t>(e.banks));
             for (int b = 0; b < e.banks; ++b) {
-                rows.emplace_back(
+                rowScratch.emplace_back(
                     bind.dummyBanks[b % bind.dummyBanks.size()],
                     bind.dummies[b % bind.dummies.size()]);
             }
-            host.hammerMultiBank(rows, burst.rounds);
+            host.hammerMultiBank(rowScratch, burst.rounds);
         }
     }
 }

@@ -219,6 +219,13 @@ SlotPlan planSlot(const HammerPattern &pattern, std::uint64_t slot,
                   const Timing &timing);
 
 /**
+ * planSlot() into a caller-owned plan, reusing its burst-vector
+ * capacity — the allocation-free form for per-slot hot loops.
+ */
+void planSlotInto(const HammerPattern &pattern, std::uint64_t slot,
+                  const Timing &timing, SlotPlan &plan);
+
+/**
  * Lower @p slots slots of a bound pattern to a softmc::Program: per
  * slot the planned ACT/PRE bursts, a wait() pad up to the slot budget
  * (tREFI - tRFC), and one REF. The canonical compiled form used for
@@ -256,6 +263,11 @@ class SynthesizedPattern : public AccessPattern
     HammerPattern pat;
     PatternBinding bind;
     Timing timing;
+    /** Per-slot scratch, reused so the hot loop stays allocation-free
+     *  after the first slot (capacity persists across runSlot calls). */
+    SlotPlan slotScratch;
+    std::vector<std::pair<Bank, Row>> rowScratch;
+    std::vector<int> countScratch;
 };
 
 } // namespace utrr

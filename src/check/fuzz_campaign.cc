@@ -1,5 +1,7 @@
 #include "check/fuzz_campaign.hh"
 
+#include <algorithm>
+
 #include "check/minimizer.hh"
 #include "common/logging.hh"
 
@@ -119,6 +121,12 @@ runFuzzCampaign(const ModuleSpec &spec,
             continue; // job failed for a non-oracle reason (watchdog)
         finding.oracle = report.violations.front().oracle;
         finding.detail = report.violations.front().detail;
+        for (const OracleViolation &v : report.violations) {
+            if (std::find(finding.oracles.begin(),
+                          finding.oracles.end(),
+                          v.oracle) == finding.oracles.end())
+                finding.oracles.push_back(v.oracle);
+        }
 
         finding.minimized = finding.program;
         if (options.minimize) {

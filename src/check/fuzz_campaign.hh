@@ -72,6 +72,14 @@ struct FuzzFinding
     /** Oracle that fired first. */
     std::string oracle;
     std::string detail;
+    /**
+     * Every distinct oracle that fired on this program, in suite order.
+     * `oracle` is only the front of this list; when several planted or
+     * real bugs coexist, an earlier-ordered oracle (e.g. differential)
+     * can front every finding and hide later catches (e.g. accounting)
+     * from the front-only view.
+     */
+    std::vector<std::string> oracles;
     /** The generated program and its minimized repro. */
     Program program;
     Program minimized;

@@ -257,6 +257,52 @@ runOracleSuite(const ModuleSpec &spec, const Program &program,
             sink.add("read-back data differs between identical runs");
     }
 
+    if (cfg.checkExecution) {
+        UTRR_PROF_SCOPE("oracle.execution");
+        ViolationSink sink(report, "execution",
+                           cfg.maxViolationsPerOracle);
+        // Run the program through the *opposite* execution tier
+        // (DESIGN.md §17): if the primary sim ran compiled, force the
+        // interpreter, and vice versa. Everything observable — reads,
+        // end time, command trace, accounting — must be bit-identical.
+        const ExecMode other = sim.execMode() == ExecMode::kCompiled
+                                   ? ExecMode::kInterpreted
+                                   : ExecMode::kCompiled;
+        const std::string otherName =
+            other == ExecMode::kInterpreted ? "interpreted tier"
+                                            : "compiled tier";
+        SimBackend sim3(spec, cfg.moduleSeed, cfg.retention,
+                        cfg.timing);
+        sim3.setExecMode(other);
+        sim3.host().trace().enable(trace_cap);
+        const BackendResult exec3 = sim3.execute(program);
+        compareResults(sink, exec, exec3, otherName);
+        if (sim3.host().trace().contentHash() != report.traceHash)
+            sink.add(logFmt("command trace differs in ", otherName));
+        const BackendAccounting got = sim.accounting();
+        const BackendAccounting want = sim3.accounting();
+        if (got.refs != want.refs)
+            sink.add(logFmt("REF count ", got.refs, " vs ", want.refs,
+                            " in ", otherName));
+        if (got.trrEvents != want.trrEvents)
+            sink.add(logFmt("TRR events ", got.trrEvents, " vs ",
+                            want.trrEvents, " in ", otherName));
+        if (got.trrVictimRefreshes != want.trrVictimRefreshes)
+            sink.add(logFmt("TRR victim refreshes ",
+                            got.trrVictimRefreshes, " vs ",
+                            want.trrVictimRefreshes, " in ",
+                            otherName));
+        for (Bank b = 0; b < spec.banks; ++b) {
+            const std::size_t idx = static_cast<std::size_t>(b);
+            if (got.rowRefreshes[idx] == want.rowRefreshes[idx])
+                continue;
+            sink.add(logFmt("bank ", b, " row refreshes ",
+                            got.rowRefreshes[idx], " vs ",
+                            want.rowRefreshes[idx], " in ",
+                            otherName));
+        }
+    }
+
     if (cfg.checkSnapshot) {
         UTRR_PROF_SCOPE("oracle.snapshot");
         ViolationSink sink(report, "snapshot",

@@ -5,7 +5,7 @@
  * The suite drives both implementations through the DeviceBackend seam
  * (src/core/device_backend.hh) — SimBackend for the production
  * DramModule + SoftMcHost pair, ReferenceBackend for the naive shadow
- * interpreter. One call runs a program through five independent checks:
+ * interpreter. One call runs a program through six independent checks:
  *
  *  1. **Differential**: execute on both backends; every captured READ
  *     (bank, row, time, all row words) and the final clock must match
@@ -20,7 +20,12 @@
  *  4. **Determinism**: a second fresh sim backend executing the same
  *     program must produce a bit-identical command trace, read set and
  *     end time.
- *  5. **Snapshot**: restoring either backend to its pre-execution
+ *  5. **Execution**: a fresh sim backend forced into the *opposite*
+ *     execution tier (compiled vs interpreted, DESIGN.md §17) must
+ *     produce the same reads, end time, command trace and accounting —
+ *     the compiled-tier fusions are provably bit-identical under fuzz
+ *     pressure, from whichever tier the suite itself runs in.
+ *  6. **Snapshot**: restoring either backend to its pre-execution
  *     snapshot and re-executing must reproduce the read set, end time
  *     and (for sim) the command trace bit-identically — the
  *     snapshot/fork contract of DESIGN.md §16 under fuzz pressure.
@@ -59,6 +64,7 @@ struct OracleConfig
     bool checkTiming = true;
     bool checkAccounting = true;
     bool checkDeterminism = true;
+    bool checkExecution = true;
     bool checkSnapshot = true;
 
     /** Extra trace ring slots beyond the static estimate. */
@@ -72,7 +78,7 @@ struct OracleConfig
 struct OracleViolation
 {
     /** "differential", "timing", "accounting", "determinism",
-     *  "snapshot", "internal". */
+     *  "execution", "snapshot", "internal". */
     std::string oracle;
     std::string detail;
 };

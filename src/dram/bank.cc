@@ -138,6 +138,233 @@ DramBank::precharge(Time /*now*/)
     open = kInvalidRow;
 }
 
+DramBank::ActPlan
+DramBank::buildActPlan(Row phys_row, Time now)
+{
+    ActPlan plan;
+    plan.phys = phys_row;
+    plan.aggr = &rowAt(phys_row, now);
+    const auto &ham = gen->hammerConfig();
+    const std::uint64_t word0 = plan.aggr->storedWord0();
+    const auto add = [&](Row victim, double base) {
+        if (victim < 0 || victim >= physRowCount)
+            return;
+        RowState &v = rowAt(victim, now);
+        // Mirror disturbOne()'s multiply order exactly: FP products are
+        // order-sensitive and both weights must match what the
+        // interpreter would compute on each branch.
+        double w_first = base;
+        double w_repeat = base * ham.repeatWeight;
+        if (word0 == v.storedWord0()) {
+            w_first *= ham.sameDataWeight;
+            w_repeat *= ham.sameDataWeight;
+        }
+        plan.victims[plan.victimCount++] = {&v, w_first, w_repeat};
+    };
+    if (ham.paired) {
+        add(phys_row ^ 1, 1.0);
+    } else {
+        add(phys_row - 1, 1.0);
+        add(phys_row + 1, 1.0);
+        if (ham.distance2Weight > 0.0) {
+            add(phys_row - 2, ham.distance2Weight);
+            add(phys_row + 2, ham.distance2Weight);
+        }
+    }
+    return plan;
+}
+
+void
+DramBank::activatePlanned(const ActPlan &plan, Time now)
+{
+    ++acts;
+    RowState &aggr = *plan.aggr;
+    if (aggr.needsHammerCells())
+        attachHammerCells(plan.phys, aggr);
+    aggr.restoreCharge(now);
+    for (int i = 0; i < plan.victimCount; ++i) {
+        const ActPlan::PlannedVictim &v = plan.victims[i];
+        const double w = v.state->lastDisturber() == plan.phys
+            ? v.wRepeat : v.wFirst;
+        v.state->addDisturbance(plan.phys, w);
+    }
+}
+
+bool
+DramBank::interleavedRoundsFoldable(const ActPlan *const *plans, int n,
+                                    Time round_gap) const
+{
+    if (n > kMaxInterleavedFold)
+        return false; // keeps applyInterleavedRounds allocation-free
+    for (int i = 0; i < n; ++i) {
+        // A duplicate aggressor would restore twice per pass, breaking
+        // the one-fast-forward-per-aggressor bookkeeping below.
+        for (int j = 0; j < i; ++j) {
+            if (plans[j]->phys == plans[i]->phys)
+                return false;
+        }
+    }
+    for (int i = 0; i < n; ++i) {
+        // Worst-case charge the other listed aggressors pump into this
+        // one between two of its restores: each lands at most once per
+        // pass, with whichever of its two planned weights is larger.
+        double bound = 0.0;
+        for (int j = 0; j < n; ++j) {
+            if (j == i)
+                continue;
+            for (int v = 0; v < plans[j]->victimCount; ++v) {
+                const ActPlan::PlannedVictim &pv = plans[j]->victims[v];
+                if (pv.state == plans[i]->aggr)
+                    bound += std::max(pv.wFirst, pv.wRepeat);
+            }
+        }
+        if (!plans[i]->aggr->restoresFastForwardable(round_gap, bound))
+            return false;
+    }
+    return true;
+}
+
+void
+DramBank::applyInterleavedRounds(const ActPlan *const *plans,
+                                 const Time *last_times, int n, int rounds)
+{
+    // Non-aggressor victims: gather each unique row's contributors in
+    // round order, then replay `rounds` passes of per-ACT additions
+    // with the live repeat-weight branch (addDisturbanceRoundRobin).
+    // All scratch lives on the stack — kMaxInterleavedFold aggressors
+    // with at most 4 planned victims each, every aggressor hitting a
+    // given victim at most once per pass.
+    struct VictimSeq
+    {
+        RowState *state;
+        int m;
+        Row aggrs[kMaxInterleavedFold];
+        double wFirst[kMaxInterleavedFold];
+        double wRepeat[kMaxInterleavedFold];
+    };
+    const auto isListedAggr = [&](const RowState *s) {
+        for (int k = 0; k < n; ++k) {
+            if (plans[k]->aggr == s)
+                return true;
+        }
+        return false;
+    };
+    VictimSeq seqs[kMaxInterleavedFold * 4];
+    int seqCount = 0;
+    for (int i = 0; i < n; ++i) {
+        for (int v = 0; v < plans[i]->victimCount; ++v) {
+            const ActPlan::PlannedVictim &pv = plans[i]->victims[v];
+            if (isListedAggr(pv.state))
+                continue;
+            VictimSeq *seq = nullptr;
+            for (int s = 0; s < seqCount; ++s) {
+                if (seqs[s].state == pv.state) {
+                    seq = &seqs[s];
+                    break;
+                }
+            }
+            if (seq == nullptr) {
+                seq = &seqs[seqCount++];
+                seq->state = pv.state;
+                seq->m = 0;
+            }
+            seq->aggrs[seq->m] = plans[i]->phys;
+            seq->wFirst[seq->m] = pv.wFirst;
+            seq->wRepeat[seq->m] = pv.wRepeat;
+            ++seq->m;
+        }
+    }
+    for (int s = 0; s < seqCount; ++s) {
+        seqs[s].state->addDisturbanceRoundRobin(
+            seqs[s].aggrs, seqs[s].wFirst, seqs[s].wRepeat, seqs[s].m,
+            rounds);
+    }
+
+    // Aggressors: every pass restores each one on the proven fast path,
+    // wiping whatever earlier-in-round aggressors added since its last
+    // restore — so only the final pass's disturbances from
+    // later-in-round aggressors survive, applied here against the
+    // post-restore (invalid) lastDisturber exactly as the per-cycle
+    // loop would leave them.
+    for (int i = 0; i < n; ++i) {
+        plans[i]->aggr->fastForwardRestores(
+            last_times[i], static_cast<std::uint64_t>(rounds));
+    }
+    for (int i = 0; i < n; ++i) {
+        for (int v = 0; v < plans[i]->victimCount; ++v) {
+            const ActPlan::PlannedVictim &pv = plans[i]->victims[v];
+            for (int k = 0; k < i; ++k) {
+                if (plans[k]->aggr != pv.state)
+                    continue;
+                const double w =
+                    pv.state->lastDisturber() == plans[i]->phys
+                    ? pv.wRepeat : pv.wFirst;
+                pv.state->addDisturbance(plans[i]->phys, w);
+            }
+        }
+    }
+    acts += static_cast<std::uint64_t>(n) *
+        static_cast<std::uint64_t>(rounds);
+}
+
+void
+DramBank::applyActivationBurst(Row phys_row, int count, Time start,
+                               Time cycle)
+{
+    // Plan building materializes the aggressor first and then the
+    // victims in exactly the interpreter's -1/+1/-2/+2 order, and the
+    // coupling word it caches does not depend on the aggressor's charge
+    // (storedWord0 reads pattern + overrides only), so building before
+    // cycle 0 is value-identical to activate()'s restore-then-disturb
+    // sequence — with one row lookup per row instead of activate()'s
+    // pass plus a second plan-build pass.
+    const ActPlan plan = buildActPlan(phys_row, start);
+    applyActivationBurstPlanned(plan, count, start, cycle);
+}
+
+void
+DramBank::applyActivationBurstPlanned(const ActPlan &plan, int count,
+                                      Time start, Time cycle)
+{
+    UTRR_ASSERT(count >= 1, "activation burst needs at least one cycle");
+    UTRR_ASSERT(open == kInvalidRow,
+                logFmt("ACT to bank ", id, " with row ", open,
+                       " still open"));
+    // Cycle 0 through the plan's live weight branch (activatePlanned
+    // bumps the ACT counter, attaches hammer cells on demand, restores
+    // the aggressor and disturbs the planned victims).
+    activatePlanned(plan, start);
+    if (count <= 1)
+        return;
+
+    RowState &aggr = *plan.aggr;
+    const int rest = count - 1;
+
+    // A row is never its own neighbour, so after the cycle-0 restore
+    // the aggressor's charge stays zero for the whole burst and each
+    // per-cycle restore is provably the fast path — unless the row has
+    // VRT cells, whose telegraph draws are visible state and must
+    // happen one restore at a time.
+    if (aggr.restoresFastForwardable(cycle)) {
+        for (int i = 0; i < plan.victimCount; ++i) {
+            const ActPlan::PlannedVictim &v = plan.victims[i];
+            // Cycle 0 made this row every victim's last disturber and
+            // nothing else touches them mid-burst, so the repeat weight
+            // applies to all remaining cycles.
+            v.state->addDisturbanceRun(plan.phys, v.wRepeat, rest);
+        }
+        acts += static_cast<std::uint64_t>(rest);
+        aggr.fastForwardRestores(start + static_cast<Time>(rest) * cycle,
+                                 static_cast<std::uint64_t>(rest));
+    } else {
+        Time now = start;
+        for (int i = 0; i < rest; ++i) {
+            now += cycle;
+            activatePlanned(plan, now);
+        }
+    }
+}
+
 void
 DramBank::writeOpenRow(const DataPattern &pattern, Row pattern_row,
                        Time now)

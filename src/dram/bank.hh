@@ -51,6 +51,102 @@ class DramBank
     /** Close the open row. */
     void precharge(Time now);
 
+    /**
+     * Pre-resolved single-activation work for one aggressor row: the
+     * aggressor's row state and each in-range victim with both possible
+     * disturbance weights pre-multiplied (the repeat/same-data factors
+     * are constant while no WR lands, so only the lastDisturber branch
+     * remains per ACT). Row pointers stay valid while the bank's row
+     * storage does — build plans per burst, never across snapshot
+     * restores.
+     */
+    struct ActPlan
+    {
+        struct PlannedVictim
+        {
+            RowState *state;
+            /** Weight when the victim's last disturber is another row. */
+            double wFirst;
+            /** Weight when this row was also the previous disturber. */
+            double wRepeat;
+        };
+        Row phys = kInvalidRow;
+        RowState *aggr = nullptr;
+        int victimCount = 0;
+        PlannedVictim victims[4];
+    };
+
+    /**
+     * Build an activation plan for @p phys_row. The aggressor and its
+     * victims must not change stored data while the plan is in use.
+     * Materializes any not-yet-touched victim rows at @p now — callers
+     * that need interpreter-exact materialization order must run the
+     * first activation through activate() and build the plan afterwards.
+     */
+    ActPlan buildActPlan(Row phys_row, Time now);
+
+    /**
+     * One ACT(+immediate PRE) worth of physical side effects from a
+     * prebuilt plan: bump the ACT counter, restore the aggressor's
+     * charge, disturb the planned victims. The bank must be (and stays)
+     * precharged.
+     */
+    void activatePlanned(const ActPlan &plan, Time now);
+
+    /**
+     * Execute @p count ACT+PRE cycles of @p phys_row, @p cycle ns apart
+     * starting at @p start, in one call — bit-identical to the same loop
+     * of activate()/precharge(). Cycle 0 runs the standard path (exact
+     * materialization order and hammer-cell attach); the remaining
+     * cycles run off an ActPlan, and when the aggressor's restores are
+     * provably all fast-path its per-cycle bookkeeping collapses to one
+     * fast-forward while each victim's charge still accumulates with
+     * per-ACT floating-point additions.
+     */
+    void applyActivationBurst(Row phys_row, int count, Time start,
+                              Time cycle);
+
+    /**
+     * applyActivationBurst() from a prebuilt plan — the form behind the
+     * host's cross-call plan cache. Every row the plan references is
+     * already materialized (plan building materializes), so cycle 0 is
+     * a plain activatePlanned() and no per-burst row lookups remain.
+     * The plan must still be valid: no WR/wrWord landed in this bank
+     * and no snapshot restore replaced the row storage since it was
+     * built (DramModule::planEpoch() tracks both).
+     */
+    void applyActivationBurstPlanned(const ActPlan &plan, int count,
+                                     Time start, Time cycle);
+
+    /**
+     * True when @p rounds round-robin ACT+PRE passes over the @p n
+     * planned aggressors (all in this bank, in global round order, one
+     * ACT each per pass, consecutive restores of the same aggressor
+     * @p round_gap ns apart) can be applied as one fold by
+     * applyInterleavedRounds(): distinct aggressor rows, and every
+     * aggressor's restores provably fast-path even with the worst-case
+     * charge the other listed aggressors can pump into it per round.
+     * Pure check — mutates nothing.
+     */
+    /** Most aggressors one interleaved fold accepts (stack bounds). */
+    static constexpr int kMaxInterleavedFold = 8;
+
+    bool interleavedRoundsFoldable(const ActPlan *const *plans, int n,
+                                   Time round_gap) const;
+
+    /**
+     * Apply @p rounds round-robin passes over the planned aggressors in
+     * one call — bit-identical to the same actPlanned() loop. Victim
+     * charge accumulates with per-ACT floating-point additions in round
+     * order; each aggressor's restores collapse to one fast-forward at
+     * @p last_times[i] (its final-pass ACT) plus the surviving
+     * final-pass disturbances from later-in-round aggressors. The
+     * caller must have checked interleavedRoundsFoldable().
+     */
+    void applyInterleavedRounds(const ActPlan *const *plans,
+                                const Time *last_times, int n,
+                                int rounds);
+
     /** Write a whole-row pattern into the open row. */
     void writeOpenRow(const DataPattern &pattern, Row pattern_row,
                       Time now);

@@ -94,6 +94,126 @@ DramModule::act(Bank bank, Row logical_row, Time now)
 }
 
 void
+DramModule::actBurst(Bank bank, Row logical_row, int count, Time start,
+                     Time cycle)
+{
+    const Row phys = toPhysical(bank, logical_row);
+    bankAt(bank).applyActivationBurst(phys, count, start, cycle);
+    // Each fused cycle opens and immediately closes the row, so the
+    // open-row register ends (and stays) invalid.
+    openLogical[static_cast<std::size_t>(bank)] = kInvalidRow;
+    trr->onActivateBurst(bank, phys, count);
+    if (ctrActs != nullptr) {
+        ctrActs->inc(static_cast<std::uint64_t>(count));
+        ctrBankActs[static_cast<std::size_t>(bank)]->inc(
+            static_cast<std::uint64_t>(count));
+    }
+}
+
+void
+DramModule::actBurstPlanned(const ActPlan &plan, int count, Time start,
+                            Time cycle)
+{
+    plan.bankPtr->applyActivationBurstPlanned(plan.bankPlan, count,
+                                              start, cycle);
+    openLogical[static_cast<std::size_t>(plan.bank)] = kInvalidRow;
+    trr->onActivateBurst(plan.bank, plan.phys, count);
+    if (ctrActs != nullptr) {
+        ctrActs->inc(static_cast<std::uint64_t>(count));
+        ctrBankActs[static_cast<std::size_t>(plan.bank)]->inc(
+            static_cast<std::uint64_t>(count));
+    }
+}
+
+DramModule::ActPlan
+DramModule::buildActPlan(Bank bank, Row logical_row, Time now)
+{
+    ActPlan plan;
+    plan.bank = bank;
+    plan.phys = toPhysical(bank, logical_row);
+    plan.bankPtr = &bankAt(bank);
+    plan.bankPlan = plan.bankPtr->buildActPlan(plan.phys, now);
+    return plan;
+}
+
+bool
+DramModule::actInterleavedBurst(const ActPlan *plans, int n, int rounds,
+                                Time start, Time stride)
+{
+    if (n <= 0 || n > DramBank::kMaxInterleavedFold || rounds <= 0)
+        return false;
+    // Group the plans per bank (preserving global round order — the
+    // within-bank subsequence keeps every victim's contributor order
+    // and the earlier/later-in-round aggressor relation intact), and
+    // verify eligibility for every bank before anything mutates. All
+    // scratch is stack-allocated: the fold's win over the per-cycle
+    // loop would drown in per-call heap traffic otherwise.
+    constexpr int kCap = DramBank::kMaxInterleavedFold;
+    const Time round_gap = static_cast<Time>(n) * stride;
+    DramBank *banks[kCap];
+    const DramBank::ActPlan *groups[kCap][kCap];
+    Time lastTimes[kCap][kCap];
+    int groupSize[kCap] = {};
+    int bankCount = 0;
+    for (int i = 0; i < n; ++i) {
+        DramBank *bank = plans[i].bankPtr;
+        int g = 0;
+        while (g < bankCount && banks[g] != bank)
+            ++g;
+        if (g == bankCount)
+            banks[bankCount++] = bank;
+        groups[g][groupSize[g]] = &plans[i].bankPlan;
+        // This aggressor's final-pass ACT lands at global slot
+        // (rounds-1)*n + i of the fused train.
+        lastTimes[g][groupSize[g]] = start +
+            (static_cast<Time>(rounds - 1) * static_cast<Time>(n) +
+             static_cast<Time>(i)) *
+                stride;
+        ++groupSize[g];
+    }
+    for (int g = 0; g < bankCount; ++g) {
+        if (!banks[g]->interleavedRoundsFoldable(groups[g], groupSize[g],
+                                                 round_gap)) {
+            return false;
+        }
+    }
+    for (int g = 0; g < bankCount; ++g) {
+        banks[g]->applyInterleavedRounds(groups[g], lastTimes[g],
+                                         groupSize[g], rounds);
+    }
+    // TRR observes the exact round-robin ACT order (folded or replayed
+    // per mechanism); the TRR tables never read bank charge state
+    // mid-burst, so physics-then-TRR ordering is state-preserving.
+    Bank trrBanks[kCap];
+    Row trrRows[kCap];
+    for (int i = 0; i < n; ++i) {
+        trrBanks[i] = plans[i].bank;
+        trrRows[i] = plans[i].phys;
+    }
+    trr->onActivateRoundRobin(trrBanks, trrRows, n, rounds);
+    if (ctrActs != nullptr) {
+        ctrActs->inc(static_cast<std::uint64_t>(n) *
+                     static_cast<std::uint64_t>(rounds));
+        for (int i = 0; i < n; ++i) {
+            ctrBankActs[static_cast<std::size_t>(plans[i].bank)]->inc(
+                static_cast<std::uint64_t>(rounds));
+        }
+    }
+    return true;
+}
+
+void
+DramModule::actPlanned(const ActPlan &plan, Time now)
+{
+    plan.bankPtr->activatePlanned(plan.bankPlan, now);
+    trr->onActivate(plan.bank, plan.phys);
+    if (ctrActs != nullptr) {
+        ctrActs->inc();
+        ctrBankActs[static_cast<std::size_t>(plan.bank)]->inc();
+    }
+}
+
+void
 DramModule::pre(Bank bank, Time now)
 {
     bankAt(bank).precharge(now);
@@ -106,12 +226,14 @@ DramModule::wr(Bank bank, const DataPattern &pattern, Time now)
     const Row logical = openLogical[static_cast<std::size_t>(bank)];
     UTRR_ASSERT(logical != kInvalidRow, "WR with no open row");
     bankAt(bank).writeOpenRow(pattern, logical, now);
+    ++planEpochV; // stored words changed: cached plan weights are stale
 }
 
 void
 DramModule::wrWord(Bank bank, int word_idx, std::uint64_t value)
 {
     bankAt(bank).writeOpenRowWord(word_idx, value);
+    ++planEpochV; // stored words changed: cached plan weights are stale
 }
 
 RowReadout
@@ -214,6 +336,7 @@ DramModule::restore(const Snapshot &snap)
                 "snapshot from a different module geometry");
     for (std::size_t b = 0; b < banks.size(); ++b)
         banks[b].restoreState(snap.banks[b]);
+    ++planEpochV; // row storage replaced: cached plan pointers dangle
     openLogical = snap.openLogical;
     engine.restoreState(snap.engine);
     // The snapshot keeps its own TRR clone so it can be restored many

@@ -66,6 +66,75 @@ class DramModule
     /** Refresh command: regular refresh sweep + possible TRR refresh. */
     void ref(Time now);
 
+    // ------------------------------------------------------------------
+    // Batched activation (the compiled execution tier, DESIGN.md §17).
+    // Bit-identical to the equivalent act()/pre() loops: the bank fuses
+    // the physical work, the TRR mechanism still observes every ACT.
+    // ------------------------------------------------------------------
+
+    /**
+     * Execute @p count ACT+PRE cycles of one logical row, @p cycle ns
+     * apart starting at @p start. Requires the bank to be precharged;
+     * it is precharged again afterwards.
+     */
+    void actBurst(Bank bank, Row logical_row, int count, Time start,
+                  Time cycle);
+
+    /** A bank ActPlan plus the module-level addressing around it. */
+    struct ActPlan
+    {
+        Bank bank = 0;
+        Row phys = kInvalidRow;
+        DramBank *bankPtr = nullptr;
+        DramBank::ActPlan bankPlan;
+    };
+
+    /**
+     * Build a reusable single-activation plan for (bank, logical row).
+     * See DramBank::buildActPlan for the materialization caveat.
+     */
+    ActPlan buildActPlan(Bank bank, Row logical_row, Time now);
+
+    /**
+     * One ACT+immediate-PRE via a prebuilt plan: bank side effects, TRR
+     * observation and metrics, with the address translation and row
+     * lookups already resolved. The bank must be (and stays) precharged.
+     */
+    void actPlanned(const ActPlan &plan, Time now);
+
+    /**
+     * Attempt to apply @p rounds round-robin ACT+PRE passes over the
+     * @p n planned aggressors in one call — the ACT sequence plans[0],
+     * plans[1], ..., plans[n-1] repeated @p rounds times, one ACT every
+     * @p stride ns starting at @p start. Bit-identical to the matching
+     * actPlanned() loop (bank physics, TRR observation order, metrics)
+     * when it succeeds; returns false with nothing mutated when any
+     * bank's aggressors fail interleavedRoundsFoldable(), in which case
+     * the caller must fall back to the per-cycle loop.
+     */
+    bool actInterleavedBurst(const ActPlan *plans, int n, int rounds,
+                             Time start, Time stride);
+
+    /**
+     * actBurst() from a prebuilt plan (cross-call plan-cache path).
+     * The caller must have checked that planEpoch() still equals the
+     * epoch the plan was built under.
+     */
+    void actBurstPlanned(const ActPlan &plan, int count, Time start,
+                         Time cycle);
+
+    /**
+     * Monotonic counter that advances whenever a cached ActPlan could
+     * go stale: a WR/wrWord lands (stored coupling words feed the
+     * pre-multiplied plan weights) or a snapshot restore replaces the
+     * banks' row storage (the plan's RowState pointers dangle). Plans
+     * built under the current epoch stay valid while it is unchanged —
+     * activations, refreshes, TRR refreshes and new-row materialization
+     * neither move row states (deque storage) nor touch stored data.
+     * Starts at 1 so a zero-initialized cache slot can never match.
+     */
+    std::uint64_t planEpoch() const { return planEpochV; }
+
     const ModuleSpec &spec() const { return moduleSpec; }
 
     /** Master seed the module was built with (for experiment reports). */
@@ -212,6 +281,8 @@ class DramModule
     std::uint64_t trrRefreshes = 0;
     std::uint64_t trrEvents = 0;
     std::uint64_t masterSeed = 0;
+    /** See planEpoch(). */
+    std::uint64_t planEpochV = 1;
 
     GroundTruthStore gtStore;
     Counter *gtTrrEvents = nullptr;

@@ -92,19 +92,7 @@ RowReadout::flipsVs(const DataPattern &expected, Row expected_row) const
         expected_row == patternRow) {
         return rawFlips();
     }
-
-    std::vector<Col> result;
-    for (int w = 0; w < words(); ++w) {
-        const std::uint64_t diff =
-            word(w) ^ expected.word(expected_row, w);
-        if (diff == 0)
-            continue;
-        for (int b = 0; b < 64; ++b) {
-            if ((diff >> b) & 1)
-                result.push_back(static_cast<Col>(w) * 64 + b);
-        }
-    }
-    return result;
+    return diffReadout(*this, expected, expected_row);
 }
 
 int
@@ -115,7 +103,59 @@ RowReadout::countFlipsVs(const DataPattern &expected,
         expected_row == patternRow) {
         return static_cast<int>(rawFlips().size());
     }
-    return static_cast<int>(flipsVs(expected, expected_row).size());
+    return diffReadoutCount(*this, expected, expected_row);
+}
+
+std::vector<Col>
+diffReadout(const RowReadout &readout, const DataPattern &expected,
+            Row expected_row)
+{
+    std::vector<Col> result;
+    const int bits = readout.rowBits();
+    const int full = bits / 64;
+    for (int w = 0; w < full; ++w) {
+        std::uint64_t diff =
+            readout.word(w) ^ expected.word(expected_row, w);
+        while (diff != 0) {
+            const int b = __builtin_ctzll(diff);
+            result.push_back(static_cast<Col>(w) * 64 + b);
+            diff &= diff - 1;
+        }
+    }
+    const int tail = bits % 64;
+    if (tail != 0) {
+        const std::uint64_t mask = (1ULL << tail) - 1;
+        std::uint64_t diff =
+            (readout.word(full) ^ expected.word(expected_row, full)) &
+            mask;
+        while (diff != 0) {
+            const int b = __builtin_ctzll(diff);
+            result.push_back(static_cast<Col>(full) * 64 + b);
+            diff &= diff - 1;
+        }
+    }
+    return result;
+}
+
+int
+diffReadoutCount(const RowReadout &readout, const DataPattern &expected,
+                 Row expected_row)
+{
+    int count = 0;
+    const int bits = readout.rowBits();
+    const int full = bits / 64;
+    for (int w = 0; w < full; ++w) {
+        count += __builtin_popcountll(
+            readout.word(w) ^ expected.word(expected_row, w));
+    }
+    const int tail = bits % 64;
+    if (tail != 0) {
+        const std::uint64_t mask = (1ULL << tail) - 1;
+        count += __builtin_popcountll(
+            (readout.word(full) ^ expected.word(expected_row, full)) &
+            mask);
+    }
+    return count;
 }
 
 RowState::RowState(RowPhysics physics, Time now, Rng vrt_rng, int row_bits,
@@ -307,6 +347,50 @@ RowState::addDisturbance(Row aggressor_phys, double added)
 {
     charge += added;
     lastAggressor = aggressor_phys;
+}
+
+void
+RowState::addDisturbanceRun(Row aggressor_phys, double added, int n)
+{
+    // n separate additions, not one multiply: FP addition is not
+    // associative and the charge must stay bit-identical to n
+    // interpreter-issued addDisturbance() calls.
+    double c = charge;
+    for (int i = 0; i < n; ++i)
+        c += added;
+    charge = c;
+    lastAggressor = aggressor_phys;
+}
+
+void
+RowState::addDisturbanceRoundRobin(const Row *aggrs, const double *w_first,
+                                   const double *w_repeat, int m,
+                                   int rounds)
+{
+    // Live weight resolution per add: the first pass may still see a
+    // pre-burst lastDisturber, and a single-aggressor victim takes the
+    // repeat weight throughout — both fall out of replaying the branch
+    // rather than precomputing a steady-state schedule.
+    double c = charge;
+    Row last = lastAggressor;
+    for (int k = 0; k < rounds; ++k) {
+        for (int i = 0; i < m; ++i) {
+            c += last == aggrs[i] ? w_repeat[i] : w_first[i];
+            last = aggrs[i];
+        }
+    }
+    charge = c;
+    lastAggressor = last;
+}
+
+void
+RowState::fastForwardRestores(Time last_now, std::uint64_t n)
+{
+    if (perf != nullptr)
+        perf->restoreFastPath += n;
+    lastRestore = last_now;
+    charge = 0.0;
+    lastAggressor = kInvalidRow;
 }
 
 void

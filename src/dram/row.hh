@@ -94,8 +94,11 @@ class RowReadout
     /** 64-bit word @p word_idx. */
     std::uint64_t word(int word_idx) const;
 
-    /** Number of 64-bit words in the row. */
+    /** Number of whole 64-bit words in the row. */
     int words() const { return bits / 64; }
+
+    /** Total number of bits in the row (may not be word-aligned). */
+    int rowBits() const { return bits; }
 
     /**
      * Columns whose value differs from @p expected (evaluated at row
@@ -131,6 +134,21 @@ class RowReadout
 };
 
 /**
+ * Word-at-a-time readback diff: XOR each 64-bit word of @p readout
+ * against @p expected (evaluated at @p expected_row) and extract
+ * differing columns with ctz instead of probing all 64 bit positions.
+ * A non-word-aligned tail is masked and compared too. Shared by
+ * RowReadout::flipsVs and every readback-scanning caller (RowScout,
+ * TRR analyzer, attack evaluator).
+ */
+std::vector<Col> diffReadout(const RowReadout &readout,
+                             const DataPattern &expected, Row expected_row);
+
+/** Popcount-only variant: the number of differing bits, no column list. */
+int diffReadoutCount(const RowReadout &readout, const DataPattern &expected,
+                     Row expected_row);
+
+/**
  * Mutable state of one physical DRAM row.
  */
 class RowState
@@ -152,6 +170,61 @@ class RowState
 
     /** Record disturbance from an aggressor ACT. */
     void addDisturbance(Row aggressor_phys, double charge);
+
+    /**
+     * Batched equivalent of @p n consecutive
+     * addDisturbance(@p aggressor_phys, @p added) calls. Performs n
+     * separate floating-point additions so the accumulation order — and
+     * therefore the resulting charge, bit for bit — matches n
+     * interpreter-issued ACTs.
+     */
+    void addDisturbanceRun(Row aggressor_phys, double added, int n);
+
+    /**
+     * Batched equivalent of @p rounds round-robin passes over @p m
+     * disturbing aggressors: the add sequence aggrs[0], aggrs[1], ...,
+     * aggrs[m-1] repeated @p rounds times. Each add resolves the
+     * repeat-vs-first weight from the row's live lastDisturber — and
+     * performs one separate floating-point addition — exactly as the
+     * matching interpreter-issued addDisturbance() calls would.
+     */
+    void addDisturbanceRoundRobin(const Row *aggrs, const double *w_first,
+                                  const double *w_repeat, int m,
+                                  int rounds);
+
+    /**
+     * True when restoreCharge() called with a gap of @p gap ns from the
+     * row's current (zero-charge) state is guaranteed to take the
+     * fast path — i.e. a uniform train of restores @p gap apart can be
+     * fast-forwarded without any per-call check. VRT rows never qualify
+     * (their telegraph RNG draws are visible state).
+     */
+    bool restoresFastForwardable(Time gap) const
+    {
+        return !vrtRow && charge < hammerFloor && gap <= minRetCache;
+    }
+
+    /**
+     * Variant for restores with disturbance landing in between: true
+     * when every restore of a uniform train @p gap apart is guaranteed
+     * the fast path even if the row accrues up to @p charge_bound extra
+     * charge between consecutive restores (each restore wipes the
+     * accrual, so the pre-restore charge never exceeds the current
+     * charge plus @p charge_bound).
+     */
+    bool restoresFastForwardable(Time gap, double charge_bound) const
+    {
+        return !vrtRow && charge + charge_bound < hammerFloor &&
+            gap <= minRetCache;
+    }
+
+    /**
+     * Batched equivalent of @p n consecutive fast-path restoreCharge()
+     * calls, the last one at @p last_now. The caller must have verified
+     * restoresFastForwardable() for the uniform step, and that no
+     * disturbance lands on this row between the restores.
+     */
+    void fastForwardRestores(Time last_now, std::uint64_t n);
 
     /** Overwrite the whole row with a pattern (WR burst sequence). */
     void writePattern(const DataPattern &pattern, Row pattern_row,

@@ -33,6 +33,23 @@ namespace utrr
 {
 
 class FaultInjector;
+struct CompiledProgram;
+
+/**
+ * Execution tier of the host (DESIGN.md §17). Both tiers are
+ * bit-identical by contract — pinned by the fuzz suite's execution
+ * oracle — so the choice is purely a speed/debuggability trade-off.
+ */
+enum class ExecMode
+{
+    /**
+     * Pre-compile programs into fused op streams and batch immediate-API
+     * hammer bursts through DramBank::applyActivationBurst (default).
+     */
+    kCompiled,
+    /** One command at a time — the reference path (`--no-compile`). */
+    kInterpreted,
+};
 
 /**
  * Structured error thrown when a simulated-time watchdog budget set via
@@ -167,8 +184,32 @@ class SoftMcHost
 
     // --- program execution ---------------------------------------------
 
-    /** Execute a recorded program, capturing reads. */
+    /**
+     * Execute a recorded program, capturing reads. In kCompiled mode
+     * (and with no mitigation or fault injector attached — those need
+     * per-command hooks) the program is lowered by ProgramCompiler and
+     * run through the batched tier; otherwise it is interpreted one
+     * command at a time. Results are bit-identical either way.
+     */
     ExecResult execute(const Program &program);
+
+    /** Execute an already-compiled op stream (skips re-lowering). */
+    ExecResult executeCompiled(const CompiledProgram &compiled);
+
+    /**
+     * Select this host's execution tier. New hosts start in the
+     * process-wide default mode (see setDefaultExecMode).
+     */
+    void setExecMode(ExecMode mode) { execModeV = mode; }
+    ExecMode execMode() const { return execModeV; }
+
+    /**
+     * Process-wide default tier for hosts created afterwards — the
+     * `--no-compile` escape hatch for debugging divergences without
+     * plumbing a flag through every experiment layer.
+     */
+    static void setDefaultExecMode(ExecMode mode);
+    static ExecMode defaultExecMode();
 
     /** Total ACT commands issued through this host. */
     std::uint64_t actCount() const { return acts; }
@@ -290,9 +331,37 @@ class SoftMcHost
     void applyMitigation(Bank bank, Row row);
     void hammerOnce(Bank bank, Row row);
     void checkWatchdog();
+    ExecResult executeInterpreted(const Program &program);
+    /** True when a hammer burst of @p cycles can run fused: compiled
+     *  mode, no per-command collaborators, and the watchdog provably
+     *  cannot fire before the burst completes. */
+    bool canBatchHammer(std::int64_t cycles) const;
+
+    /**
+     * Cross-call ActPlan cache for the batched hammer paths. A plan
+     * stays valid while the module's planEpoch() is unchanged (no
+     * WR/wrWord, no snapshot restore — see DramModule::planEpoch), so
+     * repeated hammers of the same rows skip the address translation
+     * and per-row victim lookups entirely. Direct-mapped; a conflict
+     * just rebuilds. Only batched (compiled-tier) paths consult it —
+     * the interpreter path never does.
+     */
+    struct PlanCacheEntry
+    {
+        Bank bank = -1;
+        Row row = kInvalidRow;
+        std::uint64_t epoch = 0; // 0 never matches a live epoch
+        DramModule::ActPlan plan;
+    };
+    static constexpr std::size_t kPlanCacheSlots = 64;
+    /** Cache slot for (bank, logical row); entry may be stale/empty. */
+    PlanCacheEntry &planSlotFor(Bank bank, Row row);
+    /** Valid cached plan or freshly built+cached one. */
+    const DramModule::ActPlan &cachedPlan(Bank bank, Row row);
 
     DramModule &dram;
     Timing timingParams;
+    ExecMode execModeV = defaultExecMode();
     Time clock = 0;
     std::uint64_t acts = 0;
     std::uint64_t refCmds = 0;
@@ -303,6 +372,7 @@ class SoftMcHost
     const std::atomic<bool> *stopFlag = nullptr;
     CommandTrace cmdTrace;
     MetricsRegistry *metrics = nullptr;
+    std::vector<PlanCacheEntry> planCache;
 };
 
 } // namespace utrr

@@ -68,6 +68,39 @@ class TrrMechanism
     virtual void onActivate(Bank bank, Row phys_row) = 0;
 
     /**
+     * Observe @p count back-to-back ACTs of the same row with no other
+     * command in between (a fused hammer burst). The default simply
+     * replays onActivate() @p count times — every mechanism therefore
+     * sees exactly the command stream the interpreter would have issued;
+     * mechanisms whose per-ACT work is state-free may override to skip
+     * the loop.
+     */
+    virtual void
+    onActivateBurst(Bank bank, Row phys_row, int count)
+    {
+        for (int i = 0; i < count; ++i)
+            onActivate(bank, phys_row);
+    }
+
+    /**
+     * Observe @p rounds round-robin passes over @p n aggressors — the
+     * ACT sequence rows[0], rows[1], ..., rows[n-1] repeated @p rounds
+     * times with no other command in between (a fused interleaved
+     * hammer, DESIGN.md §17). The default replays onActivate() in
+     * exactly that order; mechanisms whose per-ACT update commutes for
+     * already-tracked rows may override with a fold.
+     */
+    virtual void
+    onActivateRoundRobin(const Bank *banks, const Row *phys_rows, int n,
+                         int rounds)
+    {
+        for (int k = 0; k < rounds; ++k) {
+            for (int i = 0; i < n; ++i)
+                onActivate(banks[i], phys_rows[i]);
+        }
+    }
+
+    /**
      * Observe a REF command; returns the aggressor rows (if any) whose
      * neighbourhoods this REF additionally refreshes.
      */
@@ -112,6 +145,10 @@ class NoTrr : public TrrMechanism
 {
   public:
     void onActivate(Bank, Row) override {}
+    void onActivateBurst(Bank, Row, int) override {}
+    void onActivateRoundRobin(const Bank *, const Row *, int, int) override
+    {
+    }
     std::vector<TrrRefreshAction> onRefresh() override { return {}; }
     void reset() override {}
     std::string name() const override { return "none"; }

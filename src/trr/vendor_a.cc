@@ -41,6 +41,66 @@ VendorATrr::onActivate(Bank bank, Row phys_row)
 }
 
 void
+VendorATrr::onActivateBurst(Bank bank, Row phys_row, int count)
+{
+    // Exact fold of `count` same-row activations: the first ACT
+    // inserts (or evicts, Obs. A5) exactly as a lone one would, and
+    // every subsequent one finds the row and bumps its counter. No RNG
+    // is involved, so one scan plus a bulk increment is bit-identical
+    // to `count` scans.
+    if (count <= 0)
+        return;
+    auto &table = bankState.at(static_cast<std::size_t>(bank)).table;
+    for (Entry &entry : table) {
+        if (entry.row == phys_row) {
+            entry.count += static_cast<std::uint64_t>(count);
+            return;
+        }
+    }
+    if (table.size() < static_cast<std::size_t>(params.tableEntries)) {
+        table.push_back(
+            {phys_row, static_cast<std::uint64_t>(count)});
+        return;
+    }
+    auto victim = std::min_element(
+        table.begin(), table.end(),
+        [](const Entry &a, const Entry &b) { return a.count < b.count; });
+    *victim = {phys_row, static_cast<std::uint64_t>(count)};
+}
+
+void
+VendorATrr::onActivateRoundRobin(const Bank *banks, const Row *phys_rows,
+                                 int n, int rounds)
+{
+    if (n <= 0 || rounds <= 0)
+        return;
+    // Foldable only when every aggressor already sits in its bank's
+    // table: an ACT of a tracked row is a pure counter increment (no
+    // insert, no Obs. A5 eviction), so `rounds` round-robin passes add
+    // exactly `rounds` to each entry regardless of order. Any miss
+    // could evict another listed row mid-sequence — replay per ACT.
+    std::vector<Entry *> hits(static_cast<std::size_t>(n), nullptr);
+    for (int i = 0; i < n; ++i) {
+        auto &table =
+            bankState.at(static_cast<std::size_t>(banks[i])).table;
+        for (Entry &entry : table) {
+            if (entry.row == phys_rows[i]) {
+                hits[static_cast<std::size_t>(i)] = &entry;
+                break;
+            }
+        }
+        if (hits[static_cast<std::size_t>(i)] == nullptr) {
+            TrrMechanism::onActivateRoundRobin(banks, phys_rows, n,
+                                               rounds);
+            return;
+        }
+    }
+    for (int i = 0; i < n; ++i)
+        hits[static_cast<std::size_t>(i)]->count +=
+            static_cast<std::uint64_t>(rounds);
+}
+
+void
 VendorATrr::onGroundTruthAttached()
 {
     gtTrrRefs = &gt->counter("trr.trr_capable_refs");

@@ -46,6 +46,9 @@ class VendorATrr : public TrrMechanism
     VendorATrr(int banks, Params params);
 
     void onActivate(Bank bank, Row phys_row) override;
+    void onActivateBurst(Bank bank, Row phys_row, int count) override;
+    void onActivateRoundRobin(const Bank *banks, const Row *phys_rows,
+                              int n, int rounds) override;
     std::vector<TrrRefreshAction> onRefresh() override;
     void reset() override;
     std::unique_ptr<TrrMechanism> clone() const override;

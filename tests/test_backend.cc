@@ -3,8 +3,9 @@
  * DeviceBackend conformance suite (DESIGN.md §16).
  *
  * One parameterized battery drives every backend implementation — the
- * production simulator (SimBackend), the naive shadow interpreter
- * (ReferenceBackend) and the canned-session replayer
+ * production simulator (SimBackend, in both its compiled and
+ * interpreted execution tiers, DESIGN.md §17), the naive shadow
+ * interpreter (ReferenceBackend) and the canned-session replayer
  * (TraceReplayBackend) — through the same canonical program set and
  * pins the four points of the interface contract:
  *
@@ -25,6 +26,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "check/oracles.hh"
@@ -122,18 +124,30 @@ kindName(BackendKind kind)
     return "?";
 }
 
+/** Backend kind × execution tier (DESIGN.md §17). The tier applies to
+ *  the sim backend directly and to the replay backend's recording
+ *  source; the reference interpreter ignores it. */
+using ConformanceParam = std::tuple<BackendKind, ExecMode>;
+
+std::string
+modeName(ExecMode mode)
+{
+    return mode == ExecMode::kCompiled ? "Compiled" : "Interpreted";
+}
+
 /**
  * Build a fresh backend of @p kind over (spec, kSeed). The replay
  * backend is recorded from a fresh simulator run of @p programs — the
  * stand-in for a hardware session whose responses arrive as data.
  */
 std::unique_ptr<DeviceBackend>
-makeBackend(BackendKind kind, const ModuleSpec &spec,
+makeBackend(BackendKind kind, ExecMode mode, const ModuleSpec &spec,
             const std::vector<Program> &programs)
 {
     switch (kind) {
       case BackendKind::kSim: {
           auto backend = std::make_unique<SimBackend>(spec, kSeed);
+          backend->setExecMode(mode);
           backend->host().trace().enable(traceCapacityFor(programs));
           return backend;
       }
@@ -141,6 +155,7 @@ makeBackend(BackendKind kind, const ModuleSpec &spec,
           return std::make_unique<ReferenceBackend>(spec, kSeed);
       case BackendKind::kReplay: {
           SimBackend source(spec, kSeed);
+          source.setExecMode(mode);
           source.host().trace().enable(traceCapacityFor(programs));
           return std::make_unique<TraceReplayBackend>(
               recordExecutions(source, programs));
@@ -163,7 +178,7 @@ expectAccountingEq(const BackendAccounting &got,
 }
 
 class BackendConformance
-    : public ::testing::TestWithParam<BackendKind>
+    : public ::testing::TestWithParam<ConformanceParam>
 {
   protected:
     const ModuleSpec spec = *findModuleSpec("A0");
@@ -172,7 +187,8 @@ class BackendConformance
     std::unique_ptr<DeviceBackend>
     make() const
     {
-        return makeBackend(GetParam(), spec, programs);
+        return makeBackend(std::get<0>(GetParam()),
+                           std::get<1>(GetParam()), spec, programs);
     }
 };
 
@@ -307,10 +323,14 @@ TEST_P(BackendConformance, SnapshotRoundTripMidSequence)
 
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendConformance,
-    ::testing::Values(BackendKind::kSim, BackendKind::kReference,
-                      BackendKind::kReplay),
-    [](const ::testing::TestParamInfo<BackendKind> &info) {
-        return kindName(info.param);
+    ::testing::Combine(::testing::Values(BackendKind::kSim,
+                                         BackendKind::kReference,
+                                         BackendKind::kReplay),
+                       ::testing::Values(ExecMode::kCompiled,
+                                         ExecMode::kInterpreted)),
+    [](const ::testing::TestParamInfo<ConformanceParam> &info) {
+        return kindName(std::get<0>(info.param)) +
+            modeName(std::get<1>(info.param));
     });
 
 // ---------------------------------------------------------------------

@@ -3,9 +3,11 @@
  * Differential fuzzing harness tests: generator validity and
  * determinism, assembler round-trips of generated programs,
  * oracle-clean sweeps across vendors, minimizer properties,
- * serial-vs-parallel campaign equivalence, and the mutation sanity
- * check (the oracle suite must catch the compile-time-flagged
- * off-by-one refresh bug within a bounded number of programs).
+ * serial-vs-parallel campaign equivalence, the compiled/interpreted
+ * tier-equivalence property at random snapshot boundaries, and the
+ * mutation sanity checks (the oracle suite must catch the
+ * compile-time-flagged off-by-one refresh and hammer-fusion bugs
+ * within a bounded number of programs).
  */
 
 #include <gtest/gtest.h>
@@ -18,6 +20,7 @@
 #include "check/fuzzer.hh"
 #include "check/minimizer.hh"
 #include "check/oracles.hh"
+#include "core/sim_backend.hh"
 #include "dram/module.hh"
 #include "dram/module_spec.hh"
 #include "softmc/assembler.hh"
@@ -190,6 +193,62 @@ TEST(Fuzzer, RetentionScaleInvalidationIsPathIndependent)
     }
 }
 
+/**
+ * Compiled/interpreted equivalence property (DESIGN.md §17): any fuzz
+ * program, split at a random instruction boundary with a snapshot in
+ * between, replays bit-identically whichever execution tier runs each
+ * half — including restoring a snapshot taken under one tier and
+ * resuming the suffix under the other. This pins that snapshots are
+ * tier-agnostic and that fusion never leaks state across execute()
+ * boundaries.
+ */
+TEST(Oracles, ExecutionTiersEquivalentAtRandomBoundaries)
+{
+    const ModuleSpec spec = *findModuleSpec("C0");
+    const ProgramFuzzer fuzzer(spec);
+    Rng rng(777);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        SCOPED_TRACE("program " + std::to_string(i));
+        const Program program = fuzzer.generate(31337, i);
+        const auto &instrs = program.instructions();
+        const std::size_t cut = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(instrs.size())));
+        Program prefix;
+        Program suffix;
+        for (std::size_t k = 0; k < instrs.size(); ++k)
+            (k < cut ? prefix : suffix).push(instrs[k]);
+
+        SimBackend compiled(spec, 2021);
+        SimBackend interp(spec, 2021);
+        compiled.setExecMode(ExecMode::kCompiled);
+        interp.setExecMode(ExecMode::kInterpreted);
+
+        const BackendResult pa = compiled.execute(prefix);
+        const BackendResult pb = interp.execute(prefix);
+        EXPECT_EQ(hashBackendReads(pa), hashBackendReads(pb));
+        ASSERT_EQ(pa.endTime, pb.endTime);
+
+        const std::uint64_t ta = compiled.snapshot();
+        const std::uint64_t tb = interp.snapshot();
+        const BackendResult sa = compiled.execute(suffix);
+        const BackendResult sb = interp.execute(suffix);
+        EXPECT_EQ(hashBackendReads(sa), hashBackendReads(sb));
+        ASSERT_EQ(sa.endTime, sb.endTime);
+
+        // Cross over: resume each snapshot under the opposite tier.
+        compiled.restore(ta);
+        interp.restore(tb);
+        compiled.setExecMode(ExecMode::kInterpreted);
+        interp.setExecMode(ExecMode::kCompiled);
+        const BackendResult ra = compiled.execute(suffix);
+        const BackendResult rb = interp.execute(suffix);
+        EXPECT_EQ(hashBackendReads(ra), hashBackendReads(sa));
+        EXPECT_EQ(hashBackendReads(rb), hashBackendReads(sb));
+        EXPECT_EQ(ra.endTime, sa.endTime);
+        EXPECT_EQ(rb.endTime, sb.endTime);
+    }
+}
+
 TEST(Campaign, VerdictsIdenticalForAnyJobCount)
 {
     // The campaign's verdict dump is the byte-equality surface: jobs=1
@@ -277,9 +336,14 @@ TEST(MutationSanity, DifferentialOracleCatchesRefreshOffByOne)
 #ifdef UTRR_MUTATION_REFRESH_OFF_BY_ONE
     ASSERT_FALSE(result.clean())
         << "oracle suite missed the injected refresh bug";
+    // Collect every oracle that fired, not just each finding's front
+    // violation: UTRR_MUTATION also plants the compiled-tier fusion bug,
+    // which makes the (compiled) production run diverge from the
+    // reference on nearly every program, so "differential" fronts the
+    // findings and would crowd "accounting" out of a front-only view.
     std::set<std::string> oracles;
     for (const FuzzFinding &finding : result.findings)
-        oracles.insert(finding.oracle);
+        oracles.insert(finding.oracles.begin(), finding.oracles.end());
     EXPECT_TRUE(oracles.count("differential"))
         << "no black-box differential catch in " << result.violating
         << " violating programs";
@@ -288,6 +352,40 @@ TEST(MutationSanity, DifferentialOracleCatchesRefreshOffByOne)
     EXPECT_TRUE(result.clean())
         << result.violating << " violating on a clean tree, first: "
         << (result.findings.empty() ? "?" : result.findings[0].detail);
+#endif
+}
+
+/**
+ * Mutation sanity for the compiled tier: UTRR_MUTATION additionally
+ * plants an off-by-one in ProgramCompiler's hammer fusion (a batch of
+ * N > 1 ACT+PRE cycles lowers to N-1). Both tiers share the refresh
+ * mutation, so a compiled-vs-interpreted comparison cancels that bug
+ * out — the execution oracle is what isolates the fusion one: the
+ * interpreted rerun hammers one more time per batch, so end time,
+ * command trace and ACT accounting all diverge. Without the mutation
+ * the identical program must be clean across every oracle.
+ */
+TEST(MutationSanity, ExecutionOracleCatchesFusionOffByOne)
+{
+    const ModuleSpec spec = *findModuleSpec("A0");
+    Program program;
+    program.writeRow(0, 500, DataPattern::allOnes());
+    program.writeRow(0, 499, DataPattern::allZeros());
+    program.writeRow(0, 501, DataPattern::allZeros());
+    program.hammer(0, 499, 8'000).hammer(0, 501, 8'000);
+    program.ref(8).readRow(0, 500);
+
+    const OracleReport report = runOracleSuite(spec, program);
+
+#ifdef UTRR_MUTATION_FUSION_OFF_BY_ONE
+    bool execution_caught = false;
+    for (const OracleViolation &v : report.violations)
+        execution_caught = execution_caught || v.oracle == "execution";
+    EXPECT_TRUE(execution_caught)
+        << "execution oracle missed the planted fusion bug: "
+        << report.summary();
+#else
+    EXPECT_TRUE(report.clean()) << report.summary();
 #endif
 }
 

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
 #include "dram/row.hh"
 
 namespace utrr
@@ -290,6 +294,93 @@ TEST(RowReadout, FlipsVsDifferentPatternDiffsWholeRow)
     const RowReadout readout = row.read();
     const auto diff = readout.flipsVs(DataPattern::allZeros(), 0);
     EXPECT_EQ(diff.size(), static_cast<std::size_t>(kBits));
+}
+
+// ---------------------------------------------------------------------
+// diffReadout / diffReadoutCount: the word-at-a-time XOR+ctz diff
+// behind every readback scan (DESIGN.md §17).
+// ---------------------------------------------------------------------
+
+/** Readout of @p bits bits holding @p pattern at @p row with the given
+ *  committed flips — built directly, no RowState needed. */
+RowReadout
+makeReadout(const DataPattern &pattern, Row row, std::vector<Col> flips,
+            int bits)
+{
+    return RowReadout(
+        pattern, row, nullptr,
+        flips.empty()
+            ? nullptr
+            : std::make_shared<const std::vector<Col>>(std::move(flips)),
+        bits);
+}
+
+/** Reference implementation: probe every bit position one at a time. */
+std::vector<Col>
+naiveDiff(const RowReadout &readout, const DataPattern &expected,
+          Row expected_row)
+{
+    std::vector<Col> result;
+    for (Col col = 0; col < readout.rowBits(); ++col)
+        if (readout.bit(col) != expected.bit(expected_row, col))
+            result.push_back(col);
+    return result;
+}
+
+TEST(DiffReadout, AllZeroDiffIsEmpty)
+{
+    const RowReadout readout =
+        makeReadout(DataPattern::random(9), 42, {}, 512);
+    EXPECT_TRUE(diffReadout(readout, DataPattern::random(9), 42).empty());
+    EXPECT_EQ(diffReadoutCount(readout, DataPattern::random(9), 42), 0);
+}
+
+TEST(DiffReadout, SparseFlipsInAlignedRow)
+{
+    // Flips in the first, a middle and the last word of a word-aligned
+    // row, including bit 0 and bit 63 word boundaries.
+    const std::vector<Col> flips = {0, 63, 200, 511};
+    const RowReadout readout =
+        makeReadout(DataPattern::allOnes(), 7, flips, 512);
+    EXPECT_EQ(diffReadout(readout, DataPattern::allOnes(), 7), flips);
+    EXPECT_EQ(diffReadoutCount(readout, DataPattern::allOnes(), 7), 4);
+}
+
+TEST(DiffReadout, UnalignedTailIsMaskedNotTruncated)
+{
+    // 130-bit row: two full words plus a 2-bit tail. A flip inside the
+    // tail must be reported; the 62 garbage bit positions past the end
+    // of the row must not be.
+    const int bits = 130;
+    const RowReadout readout =
+        makeReadout(DataPattern::allOnes(), 0, {129}, bits);
+    // vs the stored pattern: only the committed tail flip.
+    const std::vector<Col> tail_only = {129};
+    EXPECT_EQ(diffReadout(readout, DataPattern::allOnes(), 0), tail_only);
+    // vs the inverse pattern: every *real* bit differs except col 129
+    // (which the flip restored to zero) — nothing beyond bit 129.
+    const auto diff = diffReadout(readout, DataPattern::allZeros(), 0);
+    EXPECT_EQ(diff.size(), static_cast<std::size_t>(bits - 1));
+    EXPECT_EQ(diff.back(), 128);
+    EXPECT_EQ(diffReadoutCount(readout, DataPattern::allZeros(), 0),
+              bits - 1);
+}
+
+TEST(DiffReadout, DenseDiffMatchesNaiveBitProbe)
+{
+    // Random data vs a different random expectation: roughly half of
+    // all bits differ. The word-at-a-time diff must agree with the
+    // per-bit reference probe exactly, columns in ascending order.
+    for (const int bits : {64, 192, 321}) {
+        SCOPED_TRACE(bits);
+        const RowReadout readout =
+            makeReadout(DataPattern::random(3), 11, {5, 70}, bits);
+        const auto fast = diffReadout(readout, DataPattern::random(4), 11);
+        EXPECT_EQ(fast, naiveDiff(readout, DataPattern::random(4), 11));
+        EXPECT_EQ(diffReadoutCount(readout, DataPattern::random(4), 11),
+                  static_cast<int>(fast.size()));
+        EXPECT_TRUE(std::is_sorted(fast.begin(), fast.end()));
+    }
 }
 
 } // namespace
